@@ -1,0 +1,183 @@
+//! Customer cones.
+
+use crate::AsRelationships;
+use net_types::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-AS customer cones: the set of ASes reachable from an AS by following
+/// only provider→customer edges, *including the AS itself* (Luckie et al.
+/// 2013 convention, which the paper follows — a stub AS has cone size 1).
+///
+/// bdrmapIT consults cones constantly: "select the AS with the smallest
+/// customer cone" (§5.1, §6.1.4), "customer cone of at most five ASes"
+/// (§4.4), "the AS in L with the largest customer cone" (§6.1.1), so both
+/// the sets and the sizes are precomputed here.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CustomerCones {
+    cones: BTreeMap<Asn, BTreeSet<Asn>>,
+}
+
+impl CustomerCones {
+    /// Computes every cone from a relationship database.
+    ///
+    /// Provider→customer edges should form a DAG; if inference produced a
+    /// cycle, members of the cycle end up in each other's cones, which is
+    /// the conservative outcome (cycle handling never loops).
+    pub fn compute(rels: &AsRelationships) -> Self {
+        let mut cones: BTreeMap<Asn, BTreeSet<Asn>> = BTreeMap::new();
+        // Iterative DFS with an explicit visiting stack per root would be
+        // O(V·E) worst case; instead run a fixpoint over reverse topological
+        // structure: repeatedly fold customers' cones into providers until
+        // stable. Converges in ≤ depth-of-hierarchy passes on a DAG.
+        let ases = rels.ases();
+        for &asn in &ases {
+            cones.insert(asn, BTreeSet::from([asn]));
+        }
+        loop {
+            let mut changed = false;
+            for &asn in &ases {
+                let mut merged: BTreeSet<Asn> = BTreeSet::new();
+                for cust in rels.customers_of(asn) {
+                    if let Some(cc) = cones.get(&cust) {
+                        merged.extend(cc.iter().copied());
+                    }
+                }
+                let mine = cones.get_mut(&asn).expect("initialized");
+                let before = mine.len();
+                mine.extend(merged);
+                if mine.len() != before {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        CustomerCones { cones }
+    }
+
+    /// The cone of `asn`. Unknown ASes get the singleton `{asn}` semantics
+    /// via [`CustomerCones::size`]; this accessor returns `None` for them.
+    pub fn cone(&self, asn: Asn) -> Option<&BTreeSet<Asn>> {
+        self.cones.get(&asn)
+    }
+
+    /// Cone size of `asn`; ASes absent from the relationship graph count as
+    /// stubs of size 1.
+    pub fn size(&self, asn: Asn) -> usize {
+        self.cones.get(&asn).map_or(1, BTreeSet::len)
+    }
+
+    /// Is `member` inside the cone of `asn`? (Every AS is in its own cone.)
+    pub fn contains(&self, asn: Asn, member: Asn) -> bool {
+        if asn == member {
+            return true;
+        }
+        self.cones.get(&asn).is_some_and(|c| c.contains(&member))
+    }
+
+    /// `|cone(asn) ∩ others|` — used by Alg. 1 line 6 of the paper.
+    pub fn intersection_size(&self, asn: Asn, others: &BTreeSet<Asn>) -> usize {
+        match self.cones.get(&asn) {
+            Some(c) => c.intersection(others).count(),
+            None => usize::from(others.contains(&asn)),
+        }
+    }
+
+    /// Among `candidates`, the one with the smallest cone, ties to lowest
+    /// ASN (the paper's recurring "smallest customer cone" tie-break).
+    pub fn smallest_cone<I: IntoIterator<Item = Asn>>(&self, candidates: I) -> Option<Asn> {
+        candidates
+            .into_iter()
+            .min_by_key(|&a| (self.size(a), a))
+    }
+
+    /// Among `candidates`, the one with the largest cone, ties to lowest
+    /// ASN (used by the IXP vote heuristic, §6.1.1).
+    pub fn largest_cone<I: IntoIterator<Item = Asn>>(&self, candidates: I) -> Option<Asn> {
+        candidates
+            .into_iter()
+            .max_by_key(|&a| (self.size(a), std::cmp::Reverse(a)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1 ── clique peer ── 2
+    /// │                   │
+    /// 3 (customer of 1)   4 (customer of 2)
+    /// │
+    /// 5 (customer of 3, also customer of 4)
+    fn fixture() -> AsRelationships {
+        let mut r = AsRelationships::new();
+        r.add_p2p(Asn(1), Asn(2));
+        r.add_p2c(Asn(1), Asn(3));
+        r.add_p2c(Asn(2), Asn(4));
+        r.add_p2c(Asn(3), Asn(5));
+        r.add_p2c(Asn(4), Asn(5));
+        r
+    }
+
+    #[test]
+    fn cone_contents() {
+        let cones = CustomerCones::compute(&fixture());
+        assert_eq!(
+            cones.cone(Asn(1)).unwrap(),
+            &[Asn(1), Asn(3), Asn(5)].into_iter().collect::<BTreeSet<_>>()
+        );
+        assert_eq!(cones.size(Asn(1)), 3);
+        assert_eq!(cones.size(Asn(2)), 3);
+        assert_eq!(cones.size(Asn(3)), 2);
+        assert_eq!(cones.size(Asn(5)), 1);
+        // Peering does not contribute to cones.
+        assert!(!cones.contains(Asn(1), Asn(2)));
+        assert!(cones.contains(Asn(1), Asn(5)));
+        assert!(cones.contains(Asn(5), Asn(5)));
+    }
+
+    #[test]
+    fn unknown_as_is_stub() {
+        let cones = CustomerCones::compute(&fixture());
+        assert_eq!(cones.size(Asn(99)), 1);
+        assert!(cones.contains(Asn(99), Asn(99)));
+        assert!(!cones.contains(Asn(99), Asn(1)));
+    }
+
+    #[test]
+    fn tie_breaks() {
+        let cones = CustomerCones::compute(&fixture());
+        // smallest: 5 (size 1); tie between 3 and 4 (size 2) → lowest ASN.
+        assert_eq!(cones.smallest_cone([Asn(3), Asn(4)]), Some(Asn(3)));
+        assert_eq!(cones.smallest_cone([Asn(1), Asn(5)]), Some(Asn(5)));
+        // largest: tie between 1 and 2 (size 3) → lowest ASN.
+        assert_eq!(cones.largest_cone([Asn(1), Asn(2), Asn(3)]), Some(Asn(1)));
+        assert_eq!(cones.smallest_cone(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn intersection() {
+        let cones = CustomerCones::compute(&fixture());
+        let others: BTreeSet<Asn> = [Asn(3), Asn(4), Asn(5)].into_iter().collect();
+        assert_eq!(cones.intersection_size(Asn(1), &others), 2); // 3 and 5
+        assert_eq!(cones.intersection_size(Asn(99), &others), 0);
+        let with99: BTreeSet<Asn> = [Asn(99)].into_iter().collect();
+        assert_eq!(cones.intersection_size(Asn(99), &with99), 1);
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let mut r = AsRelationships::new();
+        // A p2c cycle (bad inference): 1→2→3→1.
+        r.add_p2c(Asn(1), Asn(2));
+        r.add_p2c(Asn(2), Asn(3));
+        r.add_p2c(Asn(3), Asn(1));
+        let cones = CustomerCones::compute(&r);
+        // Everyone absorbs everyone; computation must terminate.
+        assert_eq!(cones.size(Asn(1)), 3);
+        assert_eq!(cones.size(Asn(2)), 3);
+        assert_eq!(cones.size(Asn(3)), 3);
+    }
+}

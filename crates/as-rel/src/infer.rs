@@ -1,0 +1,393 @@
+//! AS relationship inference from BGP paths.
+//!
+//! The paper consumes relationships inferred by Luckie et al. 2013 (the
+//! CAIDA "AS Rank" algorithm). We implement the same family of technique:
+//! a Gao-style vote over path peaks, anchored by a transit-degree-derived
+//! clique of tier-1 networks — enough to run the whole pipeline without a
+//! relationship oracle, and to measure how inference error propagates into
+//! bdrmapIT (the generator can supply ground-truth relationships for
+//! comparison).
+//!
+//! Algorithm outline:
+//!
+//! 1. Sanitize paths: collapse prepending, drop paths with loops or AS0.
+//! 2. Compute **transit degree** for every AS: the number of distinct
+//!    neighbors it appears adjacent to while in the *interior* of a path
+//!    (Luckie et al. §5.1).
+//! 3. Seed a **clique**: greedily grow from the highest-transit-degree AS,
+//!    adding candidates (in transit-degree order) adjacent to every member.
+//! 4. **Vote**: in each path the peak is the AS with the highest transit
+//!    degree; edges before the peak vote "right side is the provider",
+//!    edges after vote "left side is the provider".
+//! 5. **Classify**: clique–clique edges peer; one-sided votes become p2c;
+//!    balanced two-sided votes between comparable-degree ASes peer;
+//!    otherwise the majority direction wins.
+
+use crate::AsRelationships;
+use net_types::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tunables for [`infer_relationships`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InferenceConfig {
+    /// How many top-transit-degree ASes to consider as clique candidates.
+    pub clique_candidates: usize,
+    /// Two-sided vote ratio (minority/majority) above which an edge between
+    /// comparable-degree ASes is classified as peering instead of transit.
+    pub sibling_ratio: f64,
+    /// Transit-degree ratio (smaller/larger) above which two ASes count as
+    /// "comparable degree" for the peering rule.
+    pub peer_degree_ratio: f64,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        InferenceConfig {
+            clique_candidates: 12,
+            sibling_ratio: 0.5,
+            peer_degree_ratio: 0.25,
+        }
+    }
+}
+
+/// Computes transit degrees: for each AS, the number of distinct neighbors
+/// it is adjacent to in the interior of at least one path.
+pub fn transit_degrees(paths: &[Vec<Asn>]) -> BTreeMap<Asn, usize> {
+    let mut neighbors: BTreeMap<Asn, BTreeSet<Asn>> = BTreeMap::new();
+    for path in paths {
+        let path = sanitize(path);
+        let Some(path) = path else { continue };
+        for i in 1..path.len().saturating_sub(1) {
+            let mid = path[i];
+            neighbors.entry(mid).or_default().insert(path[i - 1]);
+            neighbors.entry(mid).or_default().insert(path[i + 1]);
+        }
+    }
+    neighbors.into_iter().map(|(a, n)| (a, n.len())).collect()
+}
+
+/// Collapses prepending and rejects loops/AS0; returns `None` for unusable
+/// paths.
+fn sanitize(path: &[Asn]) -> Option<Vec<Asn>> {
+    let mut out: Vec<Asn> = Vec::with_capacity(path.len());
+    for &a in path {
+        if a.is_none() {
+            return None;
+        }
+        if out.last() == Some(&a) {
+            continue;
+        }
+        if out.contains(&a) {
+            return None; // loop
+        }
+        out.push(a);
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Greedy clique construction over path adjacency.
+///
+/// Every AS among the top `candidates` by transit degree seeds a greedy
+/// clique (candidates joining in degree order when adjacent to all current
+/// members); the clique with the largest total transit degree wins. Seeding
+/// from every candidate matters: a regional transit can out-rank a true
+/// tier-1 in a small corpus, and a single greedy pass seeded there would
+/// exclude the real clique.
+pub fn infer_clique(
+    paths: &[Vec<Asn>],
+    degrees: &BTreeMap<Asn, usize>,
+    candidates: usize,
+) -> BTreeSet<Asn> {
+    // Path adjacency: which AS pairs ever appear adjacent.
+    let mut adjacent: BTreeSet<(Asn, Asn)> = BTreeSet::new();
+    for path in paths {
+        let Some(path) = sanitize(path) else { continue };
+        for w in path.windows(2) {
+            let (a, b) = (w[0].min(w[1]), w[0].max(w[1]));
+            adjacent.insert((a, b));
+        }
+    }
+    let mut ranked: Vec<(Asn, usize)> = degrees.iter().map(|(&a, &d)| (a, d)).collect();
+    // Highest degree first; ties toward lower ASN for determinism.
+    ranked.sort_by_key(|&(a, d)| (std::cmp::Reverse(d), a));
+    ranked.truncate(candidates);
+    ranked.retain(|&(_, d)| d > 0);
+
+    let is_adjacent = |a: Asn, b: Asn| adjacent.contains(&(a.min(b), a.max(b)));
+    let mut best: BTreeSet<Asn> = BTreeSet::new();
+    let mut best_weight: usize = 0;
+    for &(seed, _) in &ranked {
+        let mut clique: BTreeSet<Asn> = BTreeSet::from([seed]);
+        for &(asn, _) in &ranked {
+            if asn != seed && clique.iter().all(|&m| is_adjacent(asn, m)) {
+                clique.insert(asn);
+            }
+        }
+        // A clique needs mutual peering evidence; singletons are not one.
+        if clique.len() < 2 {
+            continue;
+        }
+        let weight: usize = clique
+            .iter()
+            .map(|a| degrees.get(a).copied().unwrap_or(0))
+            .sum();
+        if weight > best_weight {
+            best_weight = weight;
+            best = clique;
+        }
+    }
+    best
+}
+
+/// Infers relationships from collapsed BGP AS paths.
+pub fn infer_relationships(paths: &[Vec<Asn>], cfg: &InferenceConfig) -> AsRelationships {
+    let degrees = transit_degrees(paths);
+    let clique = infer_clique(paths, &degrees, cfg.clique_candidates);
+    let degree = |a: Asn| degrees.get(&a).copied().unwrap_or(0);
+
+    // Vote per canonical edge: (votes "low is provider", votes "high is
+    // provider"), plus top-edge statistics — how often the edge is incident
+    // to the path's peak versus how often it appears at all. An edge that
+    // only ever appears at the top of paths between comparable-degree ASes
+    // is a lateral peering, not transit (Luckie et al.'s peering position).
+    let mut votes: BTreeMap<(Asn, Asn), (u64, u64)> = BTreeMap::new();
+    let mut at_top: BTreeMap<(Asn, Asn), (u64, u64)> = BTreeMap::new();
+    let canon = |a: Asn, b: Asn| (a.min(b), a.max(b));
+
+    for path in paths {
+        let Some(path) = sanitize(path) else { continue };
+        if path.len() < 2 {
+            continue;
+        }
+        // Peak: the first clique member when one is present (routes cross
+        // the clique at their top), otherwise the first index with maximal
+        // transit degree.
+        let peak = path
+            .iter()
+            .position(|a| clique.contains(a))
+            .unwrap_or_else(|| {
+                (0..path.len())
+                    .max_by_key(|&i| (degree(path[i]), std::cmp::Reverse(i)))
+                    .expect("non-empty")
+            });
+        for i in 0..path.len() - 1 {
+            let (a, b) = (path[i], path[i + 1]);
+            let key = canon(a, b);
+            let entry = votes.entry(key).or_insert((0, 0));
+            let provider = if i < peak { b } else { a };
+            if provider == key.0 {
+                entry.0 += 1;
+            } else {
+                entry.1 += 1;
+            }
+            let top = at_top.entry(key).or_insert((0, 0));
+            top.1 += 1;
+            if i + 1 == peak || i == peak {
+                top.0 += 1;
+            }
+        }
+    }
+
+    let mut rels = AsRelationships::new();
+    for (&(lo, hi), &(lo_provider, hi_provider)) in &votes {
+        // Clique members peer with each other; an edge with exactly one
+        // clique endpoint is transit from the clique member (the clique has
+        // no providers by construction).
+        let (lo_cl, hi_cl) = (clique.contains(&lo), clique.contains(&hi));
+        if lo_cl && hi_cl {
+            rels.add_p2p(lo, hi);
+            continue;
+        }
+        if lo_cl != hi_cl {
+            let (provider, customer) = if lo_cl { (lo, hi) } else { (hi, lo) };
+            rels.add_p2c(provider, customer);
+            continue;
+        }
+        let (maj, min_votes, provider, customer) = if lo_provider >= hi_provider {
+            (lo_provider, hi_provider, lo, hi)
+        } else {
+            (hi_provider, lo_provider, hi, lo)
+        };
+        debug_assert!(maj > 0);
+        let ratio = min_votes as f64 / maj as f64;
+        let (dl, dh) = (degree(lo) as f64, degree(hi) as f64);
+        let comparable = dl.min(dh) > 0.0 && dl.min(dh) / dl.max(dh) >= cfg.peer_degree_ratio;
+        let _ = &at_top; // position statistics retained for diagnostics
+        if comparable && min_votes > 0 && ratio >= cfg.sibling_ratio {
+            rels.add_p2p(lo, hi);
+        } else {
+            rels.add_p2c(provider, customer);
+        }
+    }
+
+    // ---- refinement pass: peering recovery via export policy ----
+    // A provider exports its customer's routes to *everyone*, so paths
+    // descend into the pair from the provider's own providers and peers:
+    // some path contains (x, u, v) with x above u. A peer exports the other
+    // peer's routes only to customers, so every observed predecessor of a
+    // (u, v) peering crossing is a customer of u (or the path starts at u).
+    // Inferred p2c edges that are never entered from above, between
+    // comparable-degree non-clique ASes, are reclassified as peering.
+    let mut entered_from_above: BTreeSet<(Asn, Asn)> = BTreeSet::new();
+    for path in paths {
+        let Some(path) = sanitize(path) else { continue };
+        for w in path.windows(3) {
+            let (x, u, v) = (w[0], w[1], w[2]);
+            use crate::Relationship;
+            if matches!(
+                rels.relationship(x, u),
+                Some(Relationship::Provider) | Some(Relationship::Peer)
+            ) {
+                entered_from_above.insert((u.min(v), u.max(v)));
+            }
+        }
+    }
+    let transit_edges: Vec<(Asn, Asn)> = rels
+        .iter()
+        .filter(|&(_, _, rel)| rel != crate::Relationship::Peer)
+        .map(|(a, b, _)| (a, b))
+        .collect();
+    for (lo, hi) in transit_edges {
+        if clique.contains(&lo) || clique.contains(&hi) {
+            continue;
+        }
+        if entered_from_above.contains(&(lo, hi)) {
+            continue;
+        }
+        let (dl, dh) = (degree(lo) as f64, degree(hi) as f64);
+        let comparable = dl.min(dh) > 0.0 && dl.min(dh) / dl.max(dh) >= cfg.peer_degree_ratio;
+        if comparable {
+            rels.add_p2p(lo, hi);
+        }
+    }
+    rels
+}
+
+/// Compares inferred relationships against ground truth, returning
+/// `(agreeing edges, edges present in both)` — the standard PPV measure used
+/// when validating relationship inference.
+pub fn agreement(inferred: &AsRelationships, truth: &AsRelationships) -> (usize, usize) {
+    let mut common = 0;
+    let mut agree = 0;
+    for (a, b, rel) in inferred.iter() {
+        if let Some(true_rel) = truth.relationship(a, b) {
+            common += 1;
+            if true_rel == rel {
+                agree += 1;
+            }
+        }
+    }
+    (agree, common)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Relationship;
+
+    fn path(v: &[u32]) -> Vec<Asn> {
+        v.iter().map(|&a| Asn(a)).collect()
+    }
+
+    /// Hierarchy: 1,2 tier-1 peers; 3 customer of 1; 4 customer of 2;
+    /// 5 customer of 3; 6 customer of 4. Paths are the valley-free routes
+    /// collectors at 5's and 6's providers would see.
+    fn corpus() -> Vec<Vec<Asn>> {
+        vec![
+            // Routes to 5 (origin last).
+            path(&[6, 4, 2, 1, 3, 5]),
+            path(&[4, 2, 1, 3, 5]),
+            path(&[2, 1, 3, 5]),
+            path(&[1, 3, 5]),
+            path(&[3, 5]),
+            // Routes to 6.
+            path(&[5, 3, 1, 2, 4, 6]),
+            path(&[3, 1, 2, 4, 6]),
+            path(&[1, 2, 4, 6]),
+            path(&[2, 4, 6]),
+            path(&[4, 6]),
+            // Routes to 3 and 4 themselves.
+            path(&[2, 1, 3]),
+            path(&[1, 3]),
+            path(&[1, 2, 4]),
+            path(&[2, 4]),
+            // Extra stubs 7,8 (customers of 1) and 9,10 (customers of 2),
+            // giving the tier-1s visibly higher transit degrees.
+            path(&[3, 1, 7]),
+            path(&[2, 1, 7]),
+            path(&[1, 7]),
+            path(&[3, 1, 8]),
+            path(&[2, 1, 8]),
+            path(&[1, 8]),
+            path(&[4, 2, 9]),
+            path(&[1, 2, 9]),
+            path(&[2, 9]),
+            path(&[1, 2, 10]),
+            path(&[2, 10]),
+        ]
+    }
+
+    #[test]
+    fn transit_degree_ranks_tier1_highest() {
+        let d = transit_degrees(&corpus());
+        assert!(d[&Asn(1)] >= 3);
+        assert!(d[&Asn(2)] >= 3);
+        assert!(d[&Asn(1)] > d[&Asn(3)]);
+        // Stubs never transit.
+        assert!(!d.contains_key(&Asn(5)) || d[&Asn(5)] == 0);
+    }
+
+    #[test]
+    fn clique_is_the_tier1s() {
+        let d = transit_degrees(&corpus());
+        let clique = infer_clique(&corpus(), &d, 12);
+        assert!(clique.contains(&Asn(1)));
+        assert!(clique.contains(&Asn(2)));
+        assert!(!clique.contains(&Asn(5)));
+    }
+
+    #[test]
+    fn recovers_hierarchy() {
+        let rels = infer_relationships(&corpus(), &InferenceConfig::default());
+        assert_eq!(rels.relationship(Asn(1), Asn(2)), Some(Relationship::Peer));
+        assert!(rels.is_provider(Asn(1), Asn(3)));
+        assert!(rels.is_provider(Asn(2), Asn(4)));
+        assert!(rels.is_provider(Asn(3), Asn(5)));
+        assert!(rels.is_provider(Asn(4), Asn(6)));
+    }
+
+    #[test]
+    fn sanitize_drops_loops_and_prepending() {
+        assert_eq!(sanitize(&path(&[1, 2, 2, 3])), Some(path(&[1, 2, 3])));
+        assert_eq!(sanitize(&path(&[1, 2, 1])), None);
+        assert_eq!(sanitize(&path(&[1, 0, 2])), None);
+        assert_eq!(sanitize(&path(&[])), None);
+    }
+
+    #[test]
+    fn agreement_measure() {
+        let truth_rels = {
+            let mut r = AsRelationships::new();
+            r.add_p2c(Asn(1), Asn(3));
+            r.add_p2p(Asn(1), Asn(2));
+            r
+        };
+        let mut inferred = AsRelationships::new();
+        inferred.add_p2c(Asn(1), Asn(3)); // agrees
+        inferred.add_p2c(Asn(1), Asn(2)); // disagrees (truth: peer)
+        inferred.add_p2c(Asn(7), Asn(8)); // not in truth
+        assert_eq!(agreement(&inferred, &truth_rels), (1, 2));
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let rels = infer_relationships(&[], &InferenceConfig::default());
+        assert!(rels.is_empty());
+        assert!(transit_degrees(&[]).is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! One benchmark group per paper table/figure: each measures the time to
+//! regenerate the artifact from a prepared scenario and prints the resulting
+//! rows once, so `cargo bench` doubles as the reproduction harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::experiments::{aliases, heuristics, internet_wide, single_vp, stats, vps};
+
+fn bench_table3(c: &mut Criterion) {
+    let fx = bench::Fixture::standard();
+    let st = stats::corpus_stats(&fx.scenario, &fx.bundle);
+    println!("\n{}", st.render());
+    c.bench_function("table3_link_labels", |b| {
+        b.iter(|| stats::corpus_stats(&fx.scenario, &fx.bundle))
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let fx = bench::Fixture::standard();
+    let fig = single_vp::fig15(&fx.scenario, 15);
+    println!("\n{}", fig.render());
+    c.bench_function("fig15_single_vp", |b| {
+        b.iter(|| single_vp::fig15(&fx.scenario, 15))
+    });
+}
+
+fn bench_fig16_17(c: &mut Criterion) {
+    let fx = bench::Fixture::standard();
+    let wide = internet_wide::run(&fx.scenario, 8, 22);
+    println!("\n{}", wide.render());
+    c.bench_function("fig16_internet_wide", |b| {
+        b.iter(|| internet_wide::run(&fx.scenario, 8, 22))
+    });
+}
+
+fn bench_fig18_19(c: &mut Criterion) {
+    let fx = bench::Fixture::standard();
+    let sweep = vps::sweep(&fx.scenario, &[3, 6, 9], 2, 7);
+    println!("\n{}", sweep.render());
+    let mut g = c.benchmark_group("fig18_vary_vps");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| {
+        b.iter(|| vps::sweep(&fx.scenario, &[3, 6, 9], 2, 7))
+    });
+    g.finish();
+}
+
+fn bench_fig20(c: &mut Criterion) {
+    let fx = bench::Fixture::standard();
+    let impact = aliases::fig20(&fx.scenario, 8, 31);
+    println!("\n{}", impact.render());
+    let mut g = c.benchmark_group("fig20_alias_impact");
+    g.sample_size(10);
+    g.bench_function("midar_vs_kapar", |b| {
+        b.iter(|| aliases::fig20(&fx.scenario, 8, 31))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let fx = bench::Fixture::standard();
+    let ab = heuristics::ablation(&fx.scenario, 6, 17);
+    println!("\n{}", ab.render());
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("all_variants", |b| {
+        b.iter(|| heuristics::ablation(&fx.scenario, 6, 17))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table3, bench_fig15, bench_fig16_17, bench_fig18_19,
+              bench_fig20, bench_ablations
+}
+criterion_main!(figures);

@@ -1,0 +1,117 @@
+//! End-to-end pipeline benchmarks: each bdrmapIT phase in isolation and the
+//! whole algorithm at two scales — the "efficient for Internet-scale graph
+//! processing" claim made measurable.
+
+use as_rel::CustomerCones;
+use bdrmapit_core::{AnnotationState, Bdrmapit, Config, IrGraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topo_gen::GeneratorConfig;
+
+fn bench_phases(c: &mut Criterion) {
+    let fx = bench::Fixture::standard();
+    let s = &fx.scenario;
+    let cones = CustomerCones::compute(&s.rels);
+    let cfg = Config::default();
+
+    let mut g = c.benchmark_group("phases");
+    g.bench_function("phase1_construct_graph", |b| {
+        b.iter(|| {
+            IrGraph::build(
+                &fx.bundle.traces,
+                &fx.bundle.aliases,
+                &s.ip2as,
+                &cfg,
+                &s.rels,
+                &cones,
+            )
+        })
+    });
+
+    let graph = IrGraph::build(
+        &fx.bundle.traces,
+        &fx.bundle.aliases,
+        &s.ip2as,
+        &cfg,
+        &s.rels,
+        &cones,
+    );
+    g.bench_function("phase2_last_hops", |b| {
+        b.iter(|| {
+            let mut state = AnnotationState::new(&graph);
+            bdrmapit_core::lasthop::annotate_last_hops(&graph, &s.rels, &cones, &mut state);
+            state
+        })
+    });
+    g.bench_function("phase3_refinement", |b| {
+        b.iter(|| {
+            let mut state = AnnotationState::new(&graph);
+            bdrmapit_core::lasthop::annotate_last_hops(&graph, &s.rels, &cones, &mut state);
+            bdrmapit_core::refine::refine(&graph, &s.rels, &cones, &cfg, &mut state);
+            state
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_algorithm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bdrmapit_end_to_end");
+    g.sample_size(10);
+    for (label, cfg, vps) in [
+        ("tiny", GeneratorConfig::tiny(2018), 8),
+        (
+            "default",
+            GeneratorConfig {
+                seed: 2018,
+                ..GeneratorConfig::default()
+            },
+            12,
+        ),
+    ] {
+        let fx = bench::Fixture::at(cfg, vps);
+        let runner = Bdrmapit::new(Config::default());
+        g.bench_with_input(BenchmarkId::from_parameter(label), &fx, |b, fx| {
+            b.iter(|| {
+                runner.run(
+                    &fx.bundle.traces,
+                    &fx.bundle.aliases,
+                    &fx.scenario.ip2as,
+                    &fx.scenario.rels,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let fx = bench::Fixture::standard();
+    let mut g = c.benchmark_group("baselines");
+    g.bench_function("mapit", |b| {
+        b.iter(|| {
+            let mut m = mapit::Mapit::build(&fx.bundle.traces, &fx.scenario.ip2as);
+            m.run(&mapit::MapitConfig::default());
+            m.links()
+        })
+    });
+    let target = fx.scenario.validation.large_access;
+    let single = fx.scenario.single_vp_campaign(target, 3);
+    g.bench_function("bdrmap_single_vp", |b| {
+        b.iter(|| {
+            bdrmap::run(
+                &single.traces,
+                &single.aliases,
+                &fx.scenario.ip2as,
+                &fx.scenario.rels,
+                Some(target),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default().sample_size(20);
+    targets = bench_phases, bench_full_algorithm, bench_baselines
+}
+criterion_main!(pipeline);

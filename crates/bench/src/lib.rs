@@ -1,0 +1,38 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Benchmarks regenerate every paper table/figure (`benches/figures.rs`),
+//! time the pipeline end-to-end at several scales (`benches/pipeline.rs`),
+//! and microbenchmark the hot substrate operations (`benches/substrates.rs`).
+//! Fixtures are built once per process and shared, so Criterion timing
+//! loops measure only the operation under test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use eval::{CorpusBundle, Scenario};
+use topo_gen::GeneratorConfig;
+
+/// A prepared scenario plus a standard corpus, shared across benches.
+pub struct Fixture {
+    /// The scenario (Internet + RIB + oracle + relationships).
+    pub scenario: Scenario,
+    /// An 8-VP campaign excluding validation networks.
+    pub bundle: CorpusBundle,
+}
+
+impl Fixture {
+    /// Builds the standard benchmark fixture (tiny scale so the whole suite
+    /// completes in minutes; the CLI reproduces the figures at full scale).
+    pub fn standard() -> Fixture {
+        let scenario = Scenario::build(GeneratorConfig::tiny(2018));
+        let bundle = scenario.campaign(8, true, 1);
+        Fixture { scenario, bundle }
+    }
+
+    /// A fixture at an arbitrary scale.
+    pub fn at(cfg: GeneratorConfig, vps: usize) -> Fixture {
+        let scenario = Scenario::build(cfg);
+        let bundle = scenario.campaign(vps, true, 1);
+        Fixture { scenario, bundle }
+    }
+}

@@ -1,0 +1,145 @@
+//! BGP announcements as archived by a route collector.
+
+use net_types::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised when validating an AS path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The AS path was empty.
+    Empty,
+    /// The AS path contained a routing loop (a non-adjacent repeat).
+    Loop(Asn),
+    /// The AS path contained the AS0 sentinel.
+    ZeroAsn,
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "empty AS path"),
+            PathError::Loop(a) => write!(f, "AS path loop through {a}"),
+            PathError::ZeroAsn => write!(f, "AS0 in AS path"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// A single prefix announcement observed by a collector peer.
+///
+/// `as_path[0]` is the collector's peer AS; the last element is the origin
+/// AS — exactly the convention the paper uses ("we determine the origin AS
+/// as the last AS in the AS path", §4.1). Prepending is preserved, so paths
+/// may contain adjacent duplicates.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Announcement {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// The AS path as recorded (collector peer first, origin last).
+    pub as_path: Vec<Asn>,
+}
+
+impl Announcement {
+    /// Creates an announcement after validating the path.
+    pub fn new(prefix: Prefix, as_path: Vec<Asn>) -> Result<Self, PathError> {
+        Self::validate_path(&as_path)?;
+        Ok(Announcement { prefix, as_path })
+    }
+
+    /// The origin AS (last element of the AS path).
+    pub fn origin(&self) -> Asn {
+        *self.as_path.last().expect("validated non-empty path")
+    }
+
+    /// The collector peer AS (first element of the AS path).
+    pub fn peer(&self) -> Asn {
+        self.as_path[0]
+    }
+
+    /// The AS path with adjacent prepending collapsed.
+    pub fn collapsed_path(&self) -> Vec<Asn> {
+        collapse_prepending(&self.as_path)
+    }
+
+    /// Validates an AS path: non-empty, no AS0, and no non-adjacent repeats
+    /// (adjacent repeats are legitimate prepending).
+    pub fn validate_path(path: &[Asn]) -> Result<(), PathError> {
+        if path.is_empty() {
+            return Err(PathError::Empty);
+        }
+        let collapsed = collapse_prepending(path);
+        for (i, a) in collapsed.iter().enumerate() {
+            if a.is_none() {
+                return Err(PathError::ZeroAsn);
+            }
+            if collapsed[..i].contains(a) {
+                return Err(PathError::Loop(*a));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Collapses adjacent duplicates (AS-path prepending) out of a path.
+pub fn collapse_prepending(path: &[Asn]) -> Vec<Asn> {
+    let mut out: Vec<Asn> = Vec::with_capacity(path.len());
+    for &a in path {
+        if out.last() != Some(&a) {
+            out.push(a);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn path(v: &[u32]) -> Vec<Asn> {
+        v.iter().map(|&a| Asn(a)).collect()
+    }
+
+    #[test]
+    fn origin_and_peer() {
+        let a = Announcement::new(p("10.0.0.0/8"), path(&[1, 2, 3])).unwrap();
+        assert_eq!(a.peer(), Asn(1));
+        assert_eq!(a.origin(), Asn(3));
+    }
+
+    #[test]
+    fn prepending_is_legal_and_collapses() {
+        let a = Announcement::new(p("10.0.0.0/8"), path(&[1, 2, 2, 2, 3])).unwrap();
+        assert_eq!(a.collapsed_path(), path(&[1, 2, 3]));
+        assert_eq!(a.origin(), Asn(3));
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        assert_eq!(
+            Announcement::new(p("10.0.0.0/8"), vec![]).unwrap_err(),
+            PathError::Empty
+        );
+        assert_eq!(
+            Announcement::new(p("10.0.0.0/8"), path(&[1, 2, 1])).unwrap_err(),
+            PathError::Loop(Asn(1))
+        );
+        assert_eq!(
+            Announcement::new(p("10.0.0.0/8"), path(&[1, 0, 2])).unwrap_err(),
+            PathError::ZeroAsn
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Announcement::new(p("192.0.2.0/24"), path(&[10, 20, 30])).unwrap();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Announcement = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,133 @@
+//! IXP peering-LAN prefixes and membership.
+//!
+//! The paper (§4.1) compiles IXP prefixes from PeeringDB, Packet Clearing
+//! House, and EuroIX, "and do\[es\] not consider BGP origin ASes for addresses
+//! covered by these prefixes". This module is the synthetic equivalent of
+//! that merged directory.
+
+use net_types::{Asn, Prefix, PrefixTrie};
+use serde::{Deserialize, Serialize};
+
+/// One Internet exchange point: a shared peering LAN and its members.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ixp {
+    /// Stable identifier within the directory.
+    pub id: u32,
+    /// Human-readable name ("Synthetic-IX 3").
+    pub name: String,
+    /// The peering LAN prefix (one per IXP in our model; real IXPs can have
+    /// several — use multiple entries if needed).
+    pub prefix: Prefix,
+    /// ASes with a port on the exchange fabric.
+    pub members: Vec<Asn>,
+}
+
+/// The merged IXP directory (PeeringDB ∪ PCH ∪ EuroIX in the paper).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct IxpDirectory {
+    ixps: Vec<Ixp>,
+    #[serde(skip)]
+    trie: PrefixTrie<u32>,
+}
+
+impl IxpDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a directory from a list of IXPs.
+    pub fn from_ixps(ixps: Vec<Ixp>) -> Self {
+        let mut dir = IxpDirectory {
+            ixps,
+            trie: PrefixTrie::new(),
+        };
+        dir.rebuild();
+        dir
+    }
+
+    /// Adds one IXP.
+    pub fn add(&mut self, ixp: Ixp) {
+        self.trie.insert(ixp.prefix, ixp.id);
+        self.ixps.push(ixp);
+    }
+
+    /// Rebuilds the lookup trie (needed after deserialization).
+    pub fn rebuild(&mut self) {
+        self.trie = self.ixps.iter().map(|ixp| (ixp.prefix, ixp.id)).collect();
+    }
+
+    /// Number of IXPs in the directory.
+    pub fn len(&self) -> usize {
+        self.ixps.len()
+    }
+
+    /// True if the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ixps.is_empty()
+    }
+
+    /// Is `addr` inside any IXP peering LAN?
+    pub fn contains(&self, addr: u32) -> bool {
+        self.trie.longest_match(addr).is_some()
+    }
+
+    /// The IXP whose peering LAN covers `addr`, if any.
+    pub fn lookup(&self, addr: u32) -> Option<&Ixp> {
+        let (_, &id) = self.trie.longest_match(addr)?;
+        self.ixps.iter().find(|ixp| ixp.id == id)
+    }
+
+    /// Iterates over all IXPs.
+    pub fn iter(&self) -> impl Iterator<Item = &Ixp> {
+        self.ixps.iter()
+    }
+
+    /// All peering LAN prefixes.
+    pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.ixps.iter().map(|ixp| ixp.prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> IxpDirectory {
+        IxpDirectory::from_ixps(vec![
+            Ixp {
+                id: 1,
+                name: "IX-One".into(),
+                prefix: "198.32.0.0/22".parse().unwrap(),
+                members: vec![Asn(10), Asn(20)],
+            },
+            Ixp {
+                id: 2,
+                name: "IX-Two".into(),
+                prefix: "206.80.0.0/24".parse().unwrap(),
+                members: vec![Asn(30)],
+            },
+        ])
+    }
+
+    #[test]
+    fn lookup_membership() {
+        let d = dir();
+        assert!(d.contains(net_types::parse_ipv4("198.32.1.5").unwrap()));
+        assert!(!d.contains(net_types::parse_ipv4("198.33.0.1").unwrap()));
+        let ixp = d.lookup(net_types::parse_ipv4("206.80.0.9").unwrap()).unwrap();
+        assert_eq!(ixp.name, "IX-Two");
+        assert_eq!(ixp.members, vec![Asn(30)]);
+    }
+
+    #[test]
+    fn serde_rebuild() {
+        let d = dir();
+        let json = serde_json::to_string(&d).unwrap();
+        let mut back: IxpDirectory = serde_json::from_str(&json).unwrap();
+        // The trie is skipped during serde; callers must rebuild.
+        back.rebuild();
+        assert_eq!(back.len(), 2);
+        assert!(back.contains(net_types::parse_ipv4("198.32.1.5").unwrap()));
+    }
+}

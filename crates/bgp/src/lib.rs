@@ -1,0 +1,32 @@
+//! BGP substrate for bdrmapit-rs.
+//!
+//! The bdrmapIT paper derives interface origin ASes from BGP announcements
+//! collected by Routeviews and RIPE RIS, falling back to RIR extended
+//! delegation files for address space invisible in BGP, and treating IXP
+//! peering-LAN prefixes specially (paper §4.1). This crate models all three
+//! sources:
+//!
+//! * [`Announcement`] / [`Rib`] — announced prefixes with AS paths, as a
+//!   route collector would archive them, and the prefix→origin table built
+//!   from them.
+//! * [`rir::DelegationTable`] — RIR extended delegations joined to ASNs
+//!   through registry org handles, including deliberately stale entries.
+//! * [`ixp::IxpDirectory`] — IXP peering LAN prefixes and membership, as
+//!   published by PeeringDB/PCH/EuroIX.
+//! * [`IpToAs`] — the combined longest-prefix-match oracle the algorithm
+//!   consumes: BGP first, then RIR delegations not covered by BGP, with IXP
+//!   prefixes flagged so callers can suppress origin votes for them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod announce;
+pub mod ixp;
+mod origin;
+pub mod prefix2as;
+mod rib;
+pub mod rir;
+
+pub use announce::{Announcement, PathError};
+pub use origin::{IpToAs, OriginInfo, OriginKind};
+pub use rib::Rib;

@@ -1,0 +1,162 @@
+//! CAIDA `prefix2as` text format.
+//!
+//! The `routeviews-prefix2as` datasets map announced prefixes to origin
+//! ASes, one per line: `<network>\t<length>\t<asn>`. MOAS conflicts are
+//! encoded by joining the origins with `_` ("1.2.3.0 24 13335_4826"); AS
+//! sets appear as `{a,b}`. Both are parsed; serialization always emits the
+//! resolved single origin, matching how the bdrmapIT pipeline consumes the
+//! file.
+
+use crate::Rib;
+use net_types::{format_ipv4, parse_ipv4, Asn, Prefix};
+use std::fmt;
+
+/// One parsed line: a prefix and its origin ASes (usually one).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Prefix2AsEntry {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// Origin ASes; more than one only for MOAS/AS-set lines.
+    pub origins: Vec<Asn>,
+}
+
+impl Prefix2AsEntry {
+    /// The resolved single origin: the lowest ASN (deterministic, the same
+    /// collapse [`Rib::origin`] applies to ties).
+    pub fn primary(&self) -> Asn {
+        self.origins.iter().copied().min().unwrap_or(Asn::NONE)
+    }
+}
+
+/// Error from parsing a prefix2as file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prefix2AsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for Prefix2AsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prefix2as parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Prefix2AsError {}
+
+/// Serializes a RIB's resolved origin table to prefix2as text.
+pub fn to_prefix2as(rib: &Rib) -> String {
+    let mut out = String::new();
+    for (prefix, origin) in rib.origin_table() {
+        out.push_str(&format!(
+            "{}\t{}\t{}\n",
+            format_ipv4(prefix.addr()),
+            prefix.len(),
+            origin.0
+        ));
+    }
+    out
+}
+
+/// Parses prefix2as text (tab- or space-separated), including MOAS (`_`)
+/// and AS-set (`{a,b}`) origin encodings.
+pub fn parse_prefix2as(text: &str) -> Result<Vec<Prefix2AsEntry>, Prefix2AsError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| Prefix2AsError {
+            line: i + 1,
+            message,
+        };
+        let mut fields = line.split_whitespace();
+        let net = fields
+            .next()
+            .ok_or_else(|| err("missing network".into()))?;
+        let len = fields
+            .next()
+            .ok_or_else(|| err("missing length".into()))?;
+        let asns = fields
+            .next()
+            .ok_or_else(|| err("missing origin".into()))?;
+        let addr = parse_ipv4(net).ok_or_else(|| err(format!("bad network {net:?}")))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| err(format!("bad length {len:?}")))?;
+        if len > 32 {
+            return Err(err(format!("length {len} out of range")));
+        }
+        let cleaned = asns.trim_start_matches('{').trim_end_matches('}');
+        let mut origins = Vec::new();
+        for tok in cleaned.split(|c| c == '_' || c == ',') {
+            let asn: u32 = tok
+                .parse()
+                .map_err(|_| err(format!("bad origin {tok:?}")))?;
+            origins.push(Asn(asn));
+        }
+        if origins.is_empty() {
+            return Err(err("empty origin list".into()));
+        }
+        out.push(Prefix2AsEntry {
+            prefix: Prefix::new(addr, len),
+            origins,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Announcement;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn rib_roundtrip() {
+        let rib: Rib = [
+            Announcement::new(p("10.0.0.0/8"), vec![Asn(1), Asn(100)]).unwrap(),
+            Announcement::new(p("192.0.2.0/24"), vec![Asn(1), Asn(200)]).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let text = to_prefix2as(&rib);
+        let entries = parse_prefix2as(&text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].prefix, p("10.0.0.0/8"));
+        assert_eq!(entries[0].primary(), Asn(100));
+    }
+
+    #[test]
+    fn parses_moas_and_sets() {
+        let text = "1.2.3.0\t24\t13335_4826\n4.5.6.0 24 {7018,3356}\n";
+        let entries = parse_prefix2as(text).unwrap();
+        assert_eq!(entries[0].origins, vec![Asn(13335), Asn(4826)]);
+        assert_eq!(entries[0].primary(), Asn(4826));
+        assert_eq!(entries[1].origins, vec![Asn(7018), Asn(3356)]);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let entries = parse_prefix2as("# hi\n\n10.0.0.0\t8\t1\n").unwrap();
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse_prefix2as("10.0.0.0\t8\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("missing origin"));
+        let e = parse_prefix2as("x\t8\t1\n").unwrap_err();
+        assert!(e.message.contains("bad network"));
+        let e = parse_prefix2as("10.0.0.0\t99\t1\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+        let e = parse_prefix2as("10.0.0.0\t8\tabc\n").unwrap_err();
+        assert!(e.message.contains("bad origin"));
+    }
+}

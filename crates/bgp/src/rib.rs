@@ -1,0 +1,185 @@
+//! A route collector's RIB: every announcement seen, grouped by prefix.
+
+use crate::Announcement;
+use net_types::{Asn, Counter, Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The union of announcements archived by the collectors (the synthetic
+/// equivalent of a Routeviews + RIPE RIS snapshot).
+///
+/// The origin of a prefix is the last AS of its path; when different
+/// announcements disagree (a MOAS conflict), [`Rib::origin`] resolves the
+/// conflict deterministically to the origin seen on the most paths (ties to
+/// the lowest ASN), while [`Rib::origins`] exposes the full set.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Rib {
+    by_prefix: BTreeMap<Prefix, Vec<Announcement>>,
+}
+
+impl Rib {
+    /// Creates an empty RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one announcement.
+    pub fn add(&mut self, ann: Announcement) {
+        self.by_prefix.entry(ann.prefix).or_default().push(ann);
+    }
+
+    /// Number of distinct prefixes announced.
+    pub fn prefix_count(&self) -> usize {
+        self.by_prefix.len()
+    }
+
+    /// Total announcements stored.
+    pub fn announcement_count(&self) -> usize {
+        self.by_prefix.values().map(Vec::len).sum()
+    }
+
+    /// True if nothing has been announced.
+    pub fn is_empty(&self) -> bool {
+        self.by_prefix.is_empty()
+    }
+
+    /// All announcements for one prefix.
+    pub fn announcements(&self, prefix: Prefix) -> &[Announcement] {
+        self.by_prefix
+            .get(&prefix)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over every announced prefix in ascending order.
+    pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.by_prefix.keys().copied()
+    }
+
+    /// Iterates over all announcements.
+    pub fn iter(&self) -> impl Iterator<Item = &Announcement> {
+        self.by_prefix.values().flatten()
+    }
+
+    /// All distinct origin ASes announcing `prefix` (MOAS-aware), ascending.
+    pub fn origins(&self, prefix: Prefix) -> Vec<Asn> {
+        let mut set: Vec<Asn> = self
+            .announcements(prefix)
+            .iter()
+            .map(Announcement::origin)
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// The resolved single origin AS for `prefix`: the origin announced on
+    /// the most paths, breaking ties toward the lowest ASN. `None` if the
+    /// prefix is not in the RIB.
+    pub fn origin(&self, prefix: Prefix) -> Option<Asn> {
+        let anns = self.announcements(prefix);
+        if anns.is_empty() {
+            return None;
+        }
+        let counts: Counter<Asn> = anns.iter().map(Announcement::origin).collect();
+        // max_keys is ascending, so the first tied key is the lowest ASN.
+        counts.max_keys().into_iter().next()
+    }
+
+    /// All collapsed AS paths in the RIB — the input to AS relationship
+    /// inference.
+    pub fn collapsed_paths(&self) -> Vec<Vec<Asn>> {
+        self.iter().map(Announcement::collapsed_path).collect()
+    }
+
+    /// The `(prefix, origin)` pairs for the whole table, resolved.
+    pub fn origin_table(&self) -> Vec<(Prefix, Asn)> {
+        self.by_prefix
+            .keys()
+            .map(|&p| (p, self.origin(p).expect("prefix present")))
+            .collect()
+    }
+}
+
+impl FromIterator<Announcement> for Rib {
+    fn from_iter<I: IntoIterator<Item = Announcement>>(iter: I) -> Self {
+        let mut rib = Rib::new();
+        for a in iter {
+            rib.add(a);
+        }
+        rib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ann(prefix: &str, path: &[u32]) -> Announcement {
+        Announcement::new(p(prefix), path.iter().map(|&a| Asn(a)).collect()).unwrap()
+    }
+
+    #[test]
+    fn single_origin() {
+        let rib: Rib = [ann("10.0.0.0/8", &[1, 2, 3]), ann("10.0.0.0/8", &[4, 3])]
+            .into_iter()
+            .collect();
+        assert_eq!(rib.origin(p("10.0.0.0/8")), Some(Asn(3)));
+        assert_eq!(rib.origins(p("10.0.0.0/8")), vec![Asn(3)]);
+        assert_eq!(rib.prefix_count(), 1);
+        assert_eq!(rib.announcement_count(), 2);
+    }
+
+    #[test]
+    fn moas_resolution_prefers_majority() {
+        let rib: Rib = [
+            ann("10.0.0.0/8", &[1, 5]),
+            ann("10.0.0.0/8", &[2, 5]),
+            ann("10.0.0.0/8", &[3, 9]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(rib.origin(p("10.0.0.0/8")), Some(Asn(5)));
+        assert_eq!(rib.origins(p("10.0.0.0/8")), vec![Asn(5), Asn(9)]);
+    }
+
+    #[test]
+    fn moas_tie_breaks_low_asn() {
+        let rib: Rib = [ann("10.0.0.0/8", &[1, 9]), ann("10.0.0.0/8", &[2, 5])]
+            .into_iter()
+            .collect();
+        assert_eq!(rib.origin(p("10.0.0.0/8")), Some(Asn(5)));
+    }
+
+    #[test]
+    fn missing_prefix() {
+        let rib = Rib::new();
+        assert_eq!(rib.origin(p("10.0.0.0/8")), None);
+        assert!(rib.origins(p("10.0.0.0/8")).is_empty());
+        assert!(rib.announcements(p("10.0.0.0/8")).is_empty());
+    }
+
+    #[test]
+    fn origin_table_covers_all_prefixes() {
+        let rib: Rib = [
+            ann("10.0.0.0/8", &[1, 2]),
+            ann("192.0.2.0/24", &[1, 3]),
+            ann("198.51.100.0/24", &[1, 2, 4]),
+        ]
+        .into_iter()
+        .collect();
+        let table = rib.origin_table();
+        assert_eq!(table.len(), 3);
+        assert!(table.contains(&(p("192.0.2.0/24"), Asn(3))));
+    }
+
+    #[test]
+    fn collapsed_paths_collapse() {
+        let rib: Rib = [ann("10.0.0.0/8", &[1, 2, 2, 3])].into_iter().collect();
+        assert_eq!(rib.collapsed_paths(), vec![vec![Asn(1), Asn(2), Asn(3)]]);
+    }
+}

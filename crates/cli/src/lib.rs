@@ -1,0 +1,409 @@
+//! Command-line plumbing for the `bdrmapit` binary.
+//!
+//! The library half exists so argument parsing and command dispatch are unit
+//! testable; `main.rs` is a thin shell around [`run`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+
+use eval::experiments::{aliases, heuristics, snapshots, stats, vps};
+use eval::Scenario;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use topo_gen::GeneratorConfig;
+
+/// Which synthetic Internet scale to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// `GeneratorConfig::tiny` — seconds, for smoke runs.
+    Tiny,
+    /// `GeneratorConfig::default` — the standard experiment scale.
+    Default,
+    /// `GeneratorConfig::itdk_scale` — the large configuration.
+    Itdk,
+}
+
+impl Scale {
+    fn config(self, seed: u64) -> GeneratorConfig {
+        match self {
+            Scale::Tiny => GeneratorConfig::tiny(seed),
+            Scale::Default => GeneratorConfig {
+                seed,
+                ..GeneratorConfig::default()
+            },
+            Scale::Itdk => GeneratorConfig::itdk_scale(seed),
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cli {
+    /// The experiment or action to run.
+    pub command: Command,
+    /// Topology seed.
+    pub seed: u64,
+    /// Scale selection.
+    pub scale: Scale,
+    /// Number of VPs for Internet-wide experiments.
+    pub vps: usize,
+}
+
+/// Supported subcommands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Print the generated Internet's summary.
+    Generate,
+    /// Run a campaign and print corpus statistics (Table 3 / §5).
+    Stats,
+    /// Fig. 15.
+    Fig15,
+    /// Figs. 16 & 17.
+    Fig16,
+    /// Figs. 18 & 19.
+    Fig18,
+    /// Fig. 20 + §7.4.
+    Fig20,
+    /// Heuristic ablations.
+    Ablation,
+    /// Everything, in figure order.
+    All,
+    /// Write a dataset bundle to disk.
+    Probe {
+        /// Output directory.
+        out: PathBuf,
+    },
+    /// Run bdrmapIT from a dataset bundle on disk.
+    Infer {
+        /// Input directory.
+        input: PathBuf,
+    },
+    /// Usage text.
+    Help,
+}
+
+/// Parse errors carry the offending token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid arguments: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+bdrmapit — reproduce 'Pushing the Boundaries with bdrmapIT' (IMC 2018)
+
+USAGE:
+    bdrmapit <COMMAND> [--seed N] [--scale tiny|default|itdk] [--vps N]
+
+COMMANDS:
+    probe --out DIR    write a synthetic dataset bundle (traces.jsonl, nodes.txt,
+                       as-rel.txt, prefix2as.txt, delegated-extended.txt, ixps.json,
+                       truth.json) to DIR
+    infer --in DIR     run bdrmapIT from a bundle; writes annotations.csv/links.csv
+    generate    print a summary of the generated synthetic Internet
+    stats       campaign statistics (Table 3 link labels, §5 coverage)
+    fig15       single in-network VP: bdrmapIT vs bdrmap
+    fig16       Internet-wide, no in-network VPs: bdrmapIT vs MAP-IT (+ Fig. 17)
+    fig18       varying the number of VPs (+ Fig. 19)
+    fig20       alias resolution impact (midar vs kapar, §7.4 no-alias)
+    ablation    each bdrmapIT heuristic disabled in turn
+    all         every experiment, in order
+    help        this text
+
+OPTIONS:
+    --seed N     topology seed            [default: 2018]
+    --scale S    tiny | default | itdk    [default: default]
+    --vps N      vantage points           [default: scale-dependent]
+";
+
+/// Parses a command line (excluding `argv[0]`).
+pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
+    let mut command = None;
+    let mut seed = 2018u64;
+    let mut scale = Scale::Default;
+    let mut vps: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "probe" => {
+                if command.is_some() {
+                    return Err(ParseError("duplicate command".into()));
+                }
+                command = Some(Command::Probe { out: PathBuf::new() });
+            }
+            "infer" => {
+                if command.is_some() {
+                    return Err(ParseError("duplicate command".into()));
+                }
+                command = Some(Command::Infer { input: PathBuf::new() });
+            }
+            "--out" => {
+                let v = it.next().ok_or_else(|| ParseError("--out needs a value".into()))?;
+                match &mut command {
+                    Some(Command::Probe { out }) => *out = PathBuf::from(v),
+                    _ => return Err(ParseError("--out only applies to probe".into())),
+                }
+            }
+            "--in" => {
+                let v = it.next().ok_or_else(|| ParseError("--in needs a value".into()))?;
+                match &mut command {
+                    Some(Command::Infer { input }) => *input = PathBuf::from(v),
+                    _ => return Err(ParseError("--in only applies to infer".into())),
+                }
+            }
+            "generate" | "stats" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "fig20"
+            | "ablation" | "all" | "help" | "--help" | "-h" => {
+                let cmd = match arg.as_str() {
+                    "generate" => Command::Generate,
+                    "stats" => Command::Stats,
+                    "fig15" => Command::Fig15,
+                    "fig16" | "fig17" => Command::Fig16,
+                    "fig18" | "fig19" => Command::Fig18,
+                    "fig20" => Command::Fig20,
+                    "ablation" => Command::Ablation,
+                    "all" => Command::All,
+                    _ => Command::Help,
+                };
+                if command.is_some() {
+                    return Err(ParseError(format!("duplicate command {arg:?}")));
+                }
+                command = Some(cmd);
+            }
+            "--seed" => {
+                let v = it.next().ok_or_else(|| ParseError("--seed needs a value".into()))?;
+                seed = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad seed {v:?}")))?;
+            }
+            "--scale" => {
+                let v = it.next().ok_or_else(|| ParseError("--scale needs a value".into()))?;
+                scale = match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "default" => Scale::Default,
+                    "itdk" => Scale::Itdk,
+                    other => return Err(ParseError(format!("unknown scale {other:?}"))),
+                };
+            }
+            "--vps" => {
+                let v = it.next().ok_or_else(|| ParseError("--vps needs a value".into()))?;
+                vps = Some(
+                    v.parse()
+                        .map_err(|_| ParseError(format!("bad vp count {v:?}")))?,
+                );
+            }
+            other => return Err(ParseError(format!("unknown argument {other:?}"))),
+        }
+    }
+    let command = command.ok_or_else(|| ParseError("no command given".into()))?;
+    match &command {
+        Command::Probe { out } if out.as_os_str().is_empty() => {
+            return Err(ParseError("probe requires --out DIR".into()))
+        }
+        Command::Infer { input } if input.as_os_str().is_empty() => {
+            return Err(ParseError("infer requires --in DIR".into()))
+        }
+        _ => {}
+    }
+    let default_vps = match scale {
+        Scale::Tiny => 8,
+        Scale::Default => 20,
+        Scale::Itdk => 60,
+    };
+    Ok(Cli {
+        command,
+        seed,
+        scale,
+        vps: vps.unwrap_or(default_vps),
+    })
+}
+
+/// Executes a parsed command line, returning the report text.
+pub fn run(cli: &Cli) -> String {
+    if cli.command == Command::Help {
+        return USAGE.to_string();
+    }
+    // File-driven commands handle their own I/O and reporting.
+    match &cli.command {
+        Command::Probe { out } => {
+            return dataset::write_bundle(out, cli.scale.config(cli.seed), cli.vps, cli.seed)
+                .unwrap_or_else(|e| format!("error: {e}\n"));
+        }
+        Command::Infer { input } => {
+            return dataset::infer_from_bundle(input)
+                .unwrap_or_else(|e| format!("error: {e}\n"));
+        }
+        _ => {}
+    }
+    let s = Scenario::build(cli.scale.config(cli.seed));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "synthetic Internet: {} ASes, {} routers, {} interfaces, {} BGP prefixes, seed {}",
+        s.net.graph.len(),
+        s.net.topology.router_count(),
+        s.net.topology.iface_count(),
+        s.rib.prefix_count(),
+        cli.seed
+    );
+    let _ = writeln!(
+        out,
+        "validation networks: Tier 1 = {}, L Access = {}, R&E 1 = {}, R&E 2 = {}\n",
+        s.validation.tier1, s.validation.large_access, s.validation.re1, s.validation.re2
+    );
+    match cli.command {
+        Command::Generate => {
+            let links = s.net.true_links();
+            let _ = writeln!(
+                out,
+                "ground truth: {} interdomain router-level links, {} AS relationships, {} IXPs",
+                links.len(),
+                s.net.graph.relationships.len(),
+                s.net.graph.ixps.len()
+            );
+        }
+        Command::Stats => {
+            let bundle = s.campaign(cli.vps, true, cli.seed);
+            let _ = writeln!(out, "{}", stats::corpus_stats(&s, &bundle).render());
+        }
+        Command::Fig15 => {
+            // The paper reports 2016 and 2018 snapshot groups; the current
+            // scenario serves as the 2016 snapshot.
+            let snaps = snapshots::Snapshots {
+                y2016: s,
+                y2018: Scenario::build(cli.scale.config(cli.seed ^ 0x2018_2018)),
+            };
+            let _ = writeln!(out, "{}", snapshots::fig15_dual(&snaps, cli.seed).render());
+            return out;
+        }
+        Command::Fig16 => {
+            let snaps = snapshots::Snapshots {
+                y2016: s,
+                y2018: Scenario::build(cli.scale.config(cli.seed ^ 0x2018_2018)),
+            };
+            let _ = writeln!(
+                out,
+                "{}",
+                snapshots::fig16_dual(&snaps, cli.vps, cli.seed).render()
+            );
+            return out;
+        }
+        Command::Fig18 => {
+            let groups = groups_for(cli.vps);
+            let _ = writeln!(out, "{}", vps::sweep(&s, &groups, 5, cli.seed).render());
+        }
+        Command::Fig20 => {
+            let _ = writeln!(out, "{}", aliases::fig20(&s, cli.vps, cli.seed).render());
+        }
+        Command::Ablation => {
+            let _ = writeln!(out, "{}", heuristics::ablation(&s, cli.vps, cli.seed).render());
+        }
+        Command::All => {
+            let bundle = s.campaign(cli.vps, true, cli.seed);
+            let _ = writeln!(out, "{}", stats::corpus_stats(&s, &bundle).render());
+            let snaps = snapshots::Snapshots {
+                y2016: s,
+                y2018: Scenario::build(cli.scale.config(cli.seed ^ 0x2018_2018)),
+            };
+            let _ = writeln!(out, "{}", snapshots::fig15_dual(&snaps, cli.seed).render());
+            let _ = writeln!(
+                out,
+                "{}",
+                snapshots::fig16_dual(&snaps, cli.vps, cli.seed).render()
+            );
+            let s = snaps.y2016;
+            let groups = groups_for(cli.vps);
+            let _ = writeln!(out, "{}", vps::sweep(&s, &groups, 5, cli.seed).render());
+            let _ = writeln!(out, "{}", aliases::fig20(&s, cli.vps, cli.seed).render());
+            let _ = writeln!(out, "{}", heuristics::ablation(&s, cli.vps, cli.seed).render());
+        }
+        Command::Help | Command::Probe { .. } | Command::Infer { .. } => {
+            unreachable!("handled above")
+        }
+    }
+    out
+}
+
+/// The paper sweeps 20/40/60/80 VPs; scale the ladder to the configured VP
+/// budget (quarters of the doubled budget).
+pub fn groups_for(vps: usize) -> Vec<usize> {
+    let max = (vps * 2).max(4);
+    (1..=4).map(|i| (max * i / 4).max(1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let cli = parse(&args(&["fig16"])).unwrap();
+        assert_eq!(cli.command, Command::Fig16);
+        assert_eq!(cli.seed, 2018);
+        assert_eq!(cli.scale, Scale::Default);
+        assert_eq!(cli.vps, 20);
+    }
+
+    #[test]
+    fn parse_options() {
+        let cli = parse(&args(&["fig18", "--seed", "7", "--scale", "tiny", "--vps", "5"])).unwrap();
+        assert_eq!(cli.command, Command::Fig18);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.scale, Scale::Tiny);
+        assert_eq!(cli.vps, 5);
+    }
+
+    #[test]
+    fn parse_aliases_fig17_fig19() {
+        assert_eq!(parse(&args(&["fig17"])).unwrap().command, Command::Fig16);
+        assert_eq!(parse(&args(&["fig19"])).unwrap().command, Command::Fig18);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&args(&[])).is_err());
+        assert!(parse(&args(&["bogus"])).is_err());
+        assert!(parse(&args(&["fig15", "--seed"])).is_err());
+        assert!(parse(&args(&["fig15", "--seed", "x"])).is_err());
+        assert!(parse(&args(&["fig15", "--scale", "huge"])).is_err());
+        assert!(parse(&args(&["fig15", "fig16"])).is_err());
+    }
+
+    #[test]
+    fn help_runs_without_building_a_scenario() {
+        let cli = parse(&args(&["help"])).unwrap();
+        assert_eq!(run(&cli), USAGE);
+    }
+
+    #[test]
+    fn groups_ladder() {
+        assert_eq!(groups_for(20), vec![10, 20, 30, 40]);
+        assert_eq!(groups_for(1), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn generate_tiny_runs() {
+        let cli = parse(&args(&["generate", "--scale", "tiny", "--seed", "3"])).unwrap();
+        let out = run(&cli);
+        assert!(out.contains("synthetic Internet"));
+        assert!(out.contains("ground truth"));
+    }
+
+    #[test]
+    fn stats_tiny_runs() {
+        let cli = parse(&args(&["stats", "--scale", "tiny", "--vps", "4"])).unwrap();
+        let out = run(&cli);
+        assert!(out.contains("Table 3"));
+    }
+}

@@ -1,0 +1,17 @@
+//! The `bdrmapit` binary.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match bdrmapit_cli::parse(&args) {
+        Ok(cli) => {
+            print!("{}", bdrmapit_cli::run(&cli));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", bdrmapit_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! Phase 1: constructing the annotated IR graph (§4).
+//!
+//! Inferred routers (IRs) come from alias sets; addresses without alias
+//! information become singleton IRs. Links run from an IR to the interface
+//! seen next in a traceroute, labelled with the N/E/M confidence of Table 3,
+//! and carry the origin-AS set `L(IRᵢ, j)` (§4.3) and the per-link
+//! destination ASes the third-party test needs (§6.1.1). Per-IR destination
+//! AS sets apply the reallocated-prefix filter of §4.4.
+
+use crate::Config;
+use alias::AliasSets;
+use as_rel::{AsRelationships, CustomerCones};
+use bgp::{IpToAs, OriginInfo, OriginKind};
+use net_types::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use traceroute::{ReplyType, Trace};
+
+/// Index of an inferred router.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct IrId(pub u32);
+
+/// Index of an observed interface.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct IfIdx(pub u32);
+
+/// Link confidence label (Table 3). Lower discriminant = higher confidence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LinkLabel {
+    /// Nexthop: same origin AS, or hop distance 1, and the far side did not
+    /// answer with an Echo Reply.
+    Nexthop,
+    /// Echo: hop distance 1, far side answered with an Echo Reply.
+    Echo,
+    /// Multihop: separated by unresponsive hops with different origin ASes.
+    Multihop,
+}
+
+/// A link from an IR to a subsequently-observed interface.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Link {
+    /// The subsequent interface.
+    pub dst: IfIdx,
+    /// Best (highest-confidence) label observed for this link.
+    pub label: LinkLabel,
+    /// `L(IRᵢ, j)`: origin ASes of the IR's interfaces seen immediately
+    /// prior to `dst` in a traceroute (§4.3).
+    pub origins: BTreeSet<Asn>,
+    /// Destination ASes of the traces whose `IR → dst` segment created this
+    /// link (the third-party test consults these, §6.1.1).
+    pub dests: BTreeSet<Asn>,
+}
+
+/// One inferred router.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Ir {
+    /// Identifier (index into [`IrGraph::irs`]).
+    pub id: IrId,
+    /// Observed interfaces on this router.
+    pub ifaces: Vec<IfIdx>,
+    /// Outgoing links, ordered by destination interface.
+    pub links: Vec<Link>,
+    /// Union of the interfaces' origin ASes (IXP and unannounced addresses
+    /// contribute nothing, §4.1).
+    pub origins: BTreeSet<Asn>,
+    /// Destination AS set after §4.4's reallocation filtering.
+    pub dests: BTreeSet<Asn>,
+}
+
+/// The annotated IR graph.
+#[derive(Clone, Debug, Default)]
+pub struct IrGraph {
+    /// All inferred routers; `IrId` indexes this.
+    pub irs: Vec<Ir>,
+    /// Interface addresses; `IfIdx` indexes this and the parallel arrays.
+    pub iface_addrs: Vec<u32>,
+    /// Origin resolution per interface.
+    pub iface_origin: Vec<OriginInfo>,
+    /// Owning IR per interface.
+    pub iface_ir: Vec<IrId>,
+    /// Raw (unfiltered) destination AS set per interface.
+    pub iface_dests: Vec<BTreeSet<Asn>>,
+    /// Per interface: predecessor IR → that IR's interfaces seen immediately
+    /// prior (drives interface-annotation voting, §6.2).
+    pub preds: Vec<BTreeMap<IrId, BTreeSet<IfIdx>>>,
+    /// Address → interface index.
+    pub addr_index: HashMap<u32, IfIdx>,
+}
+
+impl IrGraph {
+    /// Builds the graph from a corpus (§4).
+    pub fn build(
+        traces: &[Trace],
+        aliases: &AliasSets,
+        ip2as: &IpToAs,
+        cfg: &Config,
+        rels: &AsRelationships,
+        cones: &CustomerCones,
+    ) -> IrGraph {
+        let mut g = IrGraph::default();
+
+        // ---- interfaces: every address observed as a responding hop ----
+        let mut observed: BTreeSet<u32> = BTreeSet::new();
+        for t in traces {
+            for (_, h) in t.responsive() {
+                observed.insert(h.addr);
+            }
+        }
+        for &addr in &observed {
+            let idx = IfIdx(g.iface_addrs.len() as u32);
+            g.iface_addrs.push(addr);
+            g.iface_origin.push(ip2as.lookup(addr));
+            g.iface_dests.push(BTreeSet::new());
+            g.preds.push(BTreeMap::new());
+            g.addr_index.insert(addr, idx);
+        }
+        g.iface_ir = vec![IrId(u32::MAX); g.iface_addrs.len()];
+
+        // ---- IRs from alias groups over observed addresses ----
+        let mut ir_members: Vec<Vec<IfIdx>> = Vec::new();
+        let mut grouped: BTreeSet<IfIdx> = BTreeSet::new();
+        for group in aliases.iter() {
+            let members: Vec<IfIdx> = group
+                .iter()
+                .filter_map(|a| g.addr_index.get(a).copied())
+                .collect();
+            if members.len() >= 2 {
+                for &m in &members {
+                    grouped.insert(m);
+                }
+                ir_members.push(members);
+            }
+        }
+        for idx in 0..g.iface_addrs.len() {
+            let ifidx = IfIdx(idx as u32);
+            if !grouped.contains(&ifidx) {
+                ir_members.push(vec![ifidx]);
+            }
+        }
+        for members in ir_members {
+            let id = IrId(g.irs.len() as u32);
+            for &m in &members {
+                g.iface_ir[m.0 as usize] = id;
+            }
+            g.irs.push(Ir {
+                id,
+                ifaces: members,
+                links: Vec::new(),
+                origins: BTreeSet::new(),
+                dests: BTreeSet::new(),
+            });
+        }
+
+        // ---- walk traces: links, origin sets, destination sets ----
+        // Accumulate links in a map first, then freeze into sorted vectors.
+        let mut link_acc: BTreeMap<(IrId, IfIdx), (LinkLabel, BTreeSet<Asn>, BTreeSet<Asn>)> =
+            BTreeMap::new();
+        for t in traces {
+            let hops: Vec<(u8, traceroute::Hop)> = t.responsive().collect();
+            if hops.is_empty() {
+                continue;
+            }
+            let dest_info = ip2as.lookup(t.dst);
+            let dest_as = dest_info.asn;
+
+            // Destination AS sets (§4.4): every responding interface records
+            // the trace's destination AS — except an Echo Reply last hop,
+            // whose "destination" is just the probed address itself.
+            let last = hops.len() - 1;
+            for (i, &(_, h)) in hops.iter().enumerate() {
+                if i == last && h.reply == ReplyType::EchoReply {
+                    continue;
+                }
+                if dest_as.is_some() {
+                    let ifidx = g.addr_index[&h.addr];
+                    g.iface_dests[ifidx.0 as usize].insert(dest_as);
+                }
+            }
+
+            // Links between adjacent responsive hops.
+            for w in hops.windows(2) {
+                let ((ttl_x, x), (ttl_y, y)) = (w[0], w[1]);
+                if x.addr == y.addr {
+                    continue;
+                }
+                let xi = g.addr_index[&x.addr];
+                let yi = g.addr_index[&y.addr];
+                let ir_x = g.iface_ir[xi.0 as usize];
+                if ir_x == g.iface_ir[yi.0 as usize] {
+                    continue; // both sides on one IR: not a link
+                }
+                let dist = ttl_y - ttl_x;
+                let ox = g.iface_origin[xi.0 as usize];
+                let oy = g.iface_origin[yi.0 as usize];
+                let label = link_label(dist, ox, oy, y.reply);
+                let entry = link_acc
+                    .entry((ir_x, yi))
+                    .or_insert_with(|| (label, BTreeSet::new(), BTreeSet::new()));
+                entry.0 = entry.0.min(label); // keep the highest confidence
+                if ox.asn.is_some() {
+                    entry.1.insert(ox.asn);
+                }
+                if dest_as.is_some() {
+                    entry.2.insert(dest_as);
+                }
+                // Predecessor record for §6.2 interface voting.
+                g.preds[yi.0 as usize]
+                    .entry(ir_x)
+                    .or_default()
+                    .insert(xi);
+            }
+        }
+        for ((ir, dst), (label, origins, dests)) in link_acc {
+            g.irs[ir.0 as usize].links.push(Link {
+                dst,
+                label,
+                origins,
+                dests,
+            });
+        }
+
+        // ---- per-IR metadata ----
+        for ir in &mut g.irs {
+            for &ifidx in &ir.ifaces {
+                let o = g.iface_origin[ifidx.0 as usize];
+                if o.asn.is_some() && o.kind != OriginKind::Ixp {
+                    ir.origins.insert(o.asn);
+                }
+            }
+        }
+        // Destination sets with §4.4 reallocation filtering, applied per
+        // interface before the union.
+        for ir_idx in 0..g.irs.len() {
+            let mut dests: BTreeSet<Asn> = BTreeSet::new();
+            for &ifidx in &g.irs[ir_idx].ifaces {
+                let raw = &g.iface_dests[ifidx.0 as usize];
+                let origin = g.iface_origin[ifidx.0 as usize].asn;
+                dests.extend(filtered_iface_dests(raw, origin, cfg, rels, cones));
+            }
+            g.irs[ir_idx].dests = dests;
+        }
+
+        g
+    }
+
+    /// IRs with no outgoing links (phase 2 targets).
+    pub fn last_hop_irs(&self) -> impl Iterator<Item = &Ir> {
+        self.irs.iter().filter(|ir| ir.links.is_empty())
+    }
+
+    /// IRs with at least one outgoing link (phase 3 targets).
+    pub fn mid_path_irs(&self) -> impl Iterator<Item = &Ir> {
+        self.irs.iter().filter(|ir| !ir.links.is_empty())
+    }
+
+    /// The interface for an address.
+    pub fn iface_of_addr(&self, addr: u32) -> Option<IfIdx> {
+        self.addr_index.get(&addr).copied()
+    }
+
+    /// The IR carrying an address.
+    pub fn ir_of_addr(&self, addr: u32) -> Option<IrId> {
+        self.iface_of_addr(addr)
+            .map(|i| self.iface_ir[i.0 as usize])
+    }
+
+    /// Distribution of best link labels, for the Table 3 statistics.
+    pub fn label_distribution(&self) -> BTreeMap<LinkLabel, usize> {
+        let mut out = BTreeMap::new();
+        for ir in &self.irs {
+            for l in &ir.links {
+                *out.entry(l.label).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Total link count.
+    pub fn link_count(&self) -> usize {
+        self.irs.iter().map(|ir| ir.links.len()).sum()
+    }
+}
+
+/// Table 3's labelling rules.
+fn link_label(dist: u8, ox: OriginInfo, oy: OriginInfo, reply: ReplyType) -> LinkLabel {
+    if reply == ReplyType::EchoReply {
+        // Echo replies only prove the address is on the responding router.
+        if dist == 1 || (ox.asn.is_some() && ox.asn == oy.asn) {
+            LinkLabel::Echo
+        } else {
+            LinkLabel::Multihop
+        }
+    } else if dist == 1 || (ox.asn.is_some() && ox.asn == oy.asn) {
+        LinkLabel::Nexthop
+    } else {
+        LinkLabel::Multihop
+    }
+}
+
+/// §4.4's per-interface destination filter: a set of exactly two ASes, one
+/// matching the interface origin and the other a small-cone AS with no
+/// BGP-observable relationship to it, indicates a reallocated prefix; the
+/// larger-cone AS (the reallocating provider) is removed.
+fn filtered_iface_dests(
+    raw: &BTreeSet<Asn>,
+    origin: Asn,
+    cfg: &Config,
+    rels: &AsRelationships,
+    cones: &CustomerCones,
+) -> BTreeSet<Asn> {
+    if !cfg.enable_realloc || raw.len() != 2 || origin.is_none() || !raw.contains(&origin) {
+        return raw.clone();
+    }
+    let other = *raw.iter().find(|&&a| a != origin).expect("two elements");
+    if cones.size(other) > cfg.realloc_cone_max || rels.has_relationship(origin, other) {
+        return raw.clone();
+    }
+    // Remove the AS with the larger cone (the provider).
+    let drop = if cones.size(origin) >= cones.size(other) {
+        origin
+    } else {
+        other
+    };
+    raw.iter().copied().filter(|&a| a != drop).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_types::Prefix;
+    use traceroute::{Hop, StopReason};
+
+    fn cfg() -> Config {
+        Config::default()
+    }
+
+    fn tr(dst: u32, hops: &[(u8, u32, ReplyType)]) -> Trace {
+        let max_ttl = hops.iter().map(|&(t, _, _)| t).max().unwrap_or(1);
+        let mut v: Vec<Option<Hop>> = vec![None; max_ttl as usize];
+        for &(ttl, addr, reply) in hops {
+            v[ttl as usize - 1] = Some(Hop { addr, reply });
+        }
+        Trace {
+            monitor: "vp".into(),
+            src: 1,
+            dst,
+            hops: v,
+            stop: StopReason::Completed,
+        }
+    }
+
+    /// Address plan: 10.1.x = AS1, 10.2.x = AS2, 10.3.x = AS3.
+    fn oracle() -> IpToAs {
+        IpToAs::from_pairs([
+            ("10.1.0.0/16".parse::<Prefix>().unwrap(), Asn(1)),
+            ("10.2.0.0/16".parse::<Prefix>().unwrap(), Asn(2)),
+            ("10.3.0.0/16".parse::<Prefix>().unwrap(), Asn(3)),
+        ])
+    }
+
+    fn a(s: &str) -> u32 {
+        net_types::parse_ipv4(s).unwrap()
+    }
+
+    const TE: ReplyType = ReplyType::TimeExceeded;
+    const ER: ReplyType = ReplyType::EchoReply;
+
+    fn build(traces: &[Trace], aliases: &AliasSets) -> IrGraph {
+        let rels = AsRelationships::new();
+        let cones = CustomerCones::compute(&rels);
+        IrGraph::build(traces, aliases, &oracle(), &cfg(), &rels, &cones)
+    }
+
+    #[test]
+    fn singleton_irs_without_aliases() {
+        let traces = [tr(
+            a("10.3.0.99"),
+            &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.1"), TE)],
+        )];
+        let g = build(&traces, &AliasSets::empty());
+        assert_eq!(g.iface_addrs.len(), 2);
+        assert_eq!(g.irs.len(), 2);
+        assert_ne!(g.ir_of_addr(a("10.1.0.1")), g.ir_of_addr(a("10.2.0.1")));
+        assert_eq!(g.link_count(), 1);
+    }
+
+    #[test]
+    fn alias_groups_become_irs() {
+        let traces = [
+            tr(a("10.3.0.99"), &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.1"), TE)]),
+            tr(a("10.3.0.98"), &[(1, a("10.1.0.2"), TE), (2, a("10.2.0.1"), TE)]),
+        ];
+        let aliases =
+            AliasSets::from_groups([BTreeSet::from([a("10.1.0.1"), a("10.1.0.2")])]);
+        let g = build(&traces, &aliases);
+        assert_eq!(g.irs.len(), 2); // aliased pair + the 10.2 singleton
+        let ir = g.ir_of_addr(a("10.1.0.1")).unwrap();
+        assert_eq!(g.ir_of_addr(a("10.1.0.2")), Some(ir));
+        // The merged IR has ONE link to 10.2.0.1 with both origins = {AS1}.
+        let ir = &g.irs[ir.0 as usize];
+        assert_eq!(ir.links.len(), 1);
+        assert_eq!(ir.links[0].origins, BTreeSet::from([Asn(1)]));
+        assert_eq!(ir.origins, BTreeSet::from([Asn(1)]));
+    }
+
+    #[test]
+    fn nexthop_label_for_adjacent() {
+        let traces = [tr(
+            a("10.3.0.99"),
+            &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.1"), TE)],
+        )];
+        let g = build(&traces, &AliasSets::empty());
+        let dist = g.label_distribution();
+        assert_eq!(dist.get(&LinkLabel::Nexthop), Some(&1));
+    }
+
+    #[test]
+    fn multihop_label_across_gap_different_origin() {
+        let traces = [tr(
+            a("10.3.0.99"),
+            &[(1, a("10.1.0.1"), TE), (3, a("10.2.0.1"), TE)],
+        )];
+        let g = build(&traces, &AliasSets::empty());
+        assert_eq!(g.label_distribution().get(&LinkLabel::Multihop), Some(&1));
+    }
+
+    #[test]
+    fn nexthop_label_across_gap_same_origin() {
+        let traces = [tr(
+            a("10.1.0.99"),
+            &[(1, a("10.1.0.1"), TE), (4, a("10.1.0.2"), TE)],
+        )];
+        let g = build(&traces, &AliasSets::empty());
+        assert_eq!(g.label_distribution().get(&LinkLabel::Nexthop), Some(&1));
+    }
+
+    #[test]
+    fn echo_label() {
+        let traces = [tr(
+            a("10.2.0.1"),
+            &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.1"), ER)],
+        )];
+        let g = build(&traces, &AliasSets::empty());
+        assert_eq!(g.label_distribution().get(&LinkLabel::Echo), Some(&1));
+    }
+
+    #[test]
+    fn best_label_wins_on_merge() {
+        let traces = [
+            // Multihop observation...
+            tr(a("10.3.0.99"), &[(1, a("10.1.0.1"), TE), (3, a("10.2.0.1"), TE)]),
+            // ...then a Nexthop observation of the same link.
+            tr(a("10.3.0.98"), &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.1"), TE)]),
+        ];
+        let g = build(&traces, &AliasSets::empty());
+        let dist = g.label_distribution();
+        assert_eq!(dist.get(&LinkLabel::Nexthop), Some(&1));
+        assert_eq!(dist.get(&LinkLabel::Multihop), None);
+        assert_eq!(g.link_count(), 1);
+    }
+
+    #[test]
+    fn origin_sets_accumulate_per_link() {
+        // Fig. 5 of the paper: two different prior interfaces on one IR.
+        let aliases = AliasSets::from_groups([BTreeSet::from([
+            a("10.1.0.1"),
+            a("10.3.0.1"),
+        ])]);
+        let traces = [
+            tr(a("10.2.0.99"), &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.5"), TE)]),
+            tr(a("10.2.0.99"), &[(1, a("10.3.0.1"), TE), (2, a("10.2.0.5"), TE)]),
+        ];
+        let g = build(&traces, &aliases);
+        let ir = &g.irs[g.ir_of_addr(a("10.1.0.1")).unwrap().0 as usize];
+        assert_eq!(ir.links.len(), 1);
+        assert_eq!(ir.links[0].origins, BTreeSet::from([Asn(1), Asn(3)]));
+    }
+
+    #[test]
+    fn dest_sets_exclude_echo_last_hop() {
+        let traces = [tr(
+            a("10.2.0.1"),
+            &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.1"), ER)],
+        )];
+        let g = build(&traces, &AliasSets::empty());
+        // 10.1.0.1 records dest AS2; the echo responder records nothing.
+        let i1 = g.iface_of_addr(a("10.1.0.1")).unwrap();
+        let i2 = g.iface_of_addr(a("10.2.0.1")).unwrap();
+        assert_eq!(g.iface_dests[i1.0 as usize], BTreeSet::from([Asn(2)]));
+        assert!(g.iface_dests[i2.0 as usize].is_empty());
+    }
+
+    #[test]
+    fn realloc_filter_drops_provider() {
+        // Interface origin AS1 (provider, big cone); dests {AS1, AS3} where
+        // AS3 is a small-cone AS with no relationship to AS1.
+        let mut rels = AsRelationships::new();
+        rels.add_p2c(Asn(1), Asn(2)); // gives AS1 a cone of 2
+        let cones = CustomerCones::compute(&rels);
+        let raw = BTreeSet::from([Asn(1), Asn(3)]);
+        let out = filtered_iface_dests(&raw, Asn(1), &cfg(), &rels, &cones);
+        assert_eq!(out, BTreeSet::from([Asn(3)]));
+        // With a known relationship, nothing is filtered.
+        let mut rels2 = AsRelationships::new();
+        rels2.add_p2c(Asn(1), Asn(3));
+        let cones2 = CustomerCones::compute(&rels2);
+        let out2 = filtered_iface_dests(&raw, Asn(1), &cfg(), &rels2, &cones2);
+        assert_eq!(out2, raw);
+    }
+
+    #[test]
+    fn preds_track_prior_interfaces() {
+        let traces = [
+            tr(a("10.3.0.99"), &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.5"), TE)]),
+            tr(a("10.3.0.98"), &[(1, a("10.1.0.2"), TE), (2, a("10.2.0.5"), TE)]),
+        ];
+        let aliases =
+            AliasSets::from_groups([BTreeSet::from([a("10.1.0.1"), a("10.1.0.2")])]);
+        let g = build(&traces, &aliases);
+        let yi = g.iface_of_addr(a("10.2.0.5")).unwrap();
+        let ir = g.ir_of_addr(a("10.1.0.1")).unwrap();
+        let preds = &g.preds[yi.0 as usize];
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[&ir].len(), 2, "both prior interfaces recorded");
+    }
+
+    #[test]
+    fn last_hop_vs_mid_path_partition() {
+        let traces = [tr(
+            a("10.3.0.99"),
+            &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.1"), TE)],
+        )];
+        let g = build(&traces, &AliasSets::empty());
+        assert_eq!(g.mid_path_irs().count(), 1);
+        assert_eq!(g.last_hop_irs().count(), 1);
+    }
+
+    #[test]
+    fn self_loops_and_repeats_skipped() {
+        let traces = [tr(
+            a("10.3.0.99"),
+            &[
+                (1, a("10.1.0.1"), TE),
+                (2, a("10.1.0.1"), TE), // routing artifact: repeated addr
+                (3, a("10.2.0.1"), TE),
+            ],
+        )];
+        let g = build(&traces, &AliasSets::empty());
+        assert_eq!(g.link_count(), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Result serialization, mirroring the shape of the released bdrmapIT
+//! tool's output: one CSV of per-address router annotations, one CSV of
+//! inferred interdomain links.
+
+use crate::Annotated;
+use net_types::{format_ipv4, parse_ipv4, Asn};
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Writes per-address annotations as CSV:
+/// `addr,ir,asn,origin_asn,conn_asn`.
+///
+/// * `asn` — the inferred operator of the router carrying the address;
+/// * `origin_asn` — the BGP/RIR origin of the address (0 = unannounced/IXP);
+/// * `conn_asn` — the interface annotation (the AS on the other side of the
+///   link the interface terminates; 0 = none).
+pub fn write_annotations<W: Write>(mut w: W, result: &Annotated) -> io::Result<()> {
+    writeln!(w, "addr,ir,asn,origin_asn,conn_asn")?;
+    for (idx, &addr) in result.graph.iface_addrs.iter().enumerate() {
+        let ir = result.graph.iface_ir[idx];
+        let asn = result.state.router[ir.0 as usize];
+        let origin = result.graph.iface_origin[idx].asn;
+        let conn = result.state.iface[idx];
+        writeln!(
+            w,
+            "{},{},{},{},{}",
+            format_ipv4(addr),
+            ir.0,
+            asn.0,
+            origin.0,
+            conn.0
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes inferred interdomain links as CSV:
+/// `ir_asn,conn_asn,iface_addr,last_hop`.
+pub fn write_links<W: Write>(mut w: W, result: &Annotated) -> io::Result<()> {
+    writeln!(w, "ir_asn,conn_asn,iface_addr,last_hop")?;
+    for link in result.interdomain_links() {
+        writeln!(
+            w,
+            "{},{},{},{}",
+            link.ir_as.0,
+            link.conn_as.0,
+            format_ipv4(link.iface_addr),
+            link.last_hop as u8
+        )?;
+    }
+    Ok(())
+}
+
+/// A parsed annotation row (for downstream consumers and tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnnotationRow {
+    /// Interface address.
+    pub addr: u32,
+    /// IR index.
+    pub ir: u32,
+    /// Inferred router operator (0 = unannotated).
+    pub asn: Asn,
+    /// Address origin AS.
+    pub origin: Asn,
+    /// Connected-AS annotation.
+    pub conn: Asn,
+}
+
+/// Reads an annotations CSV produced by [`write_annotations`].
+pub fn read_annotations<R: Read>(r: R) -> io::Result<Vec<AnnotationRow>> {
+    let reader = BufReader::new(r);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.trim().is_empty() {
+            continue; // header
+        }
+        let bad = || {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: malformed annotation row", i + 1),
+            )
+        };
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(bad());
+        }
+        out.push(AnnotationRow {
+            addr: parse_ipv4(fields[0]).ok_or_else(bad)?,
+            ir: fields[1].parse().map_err(|_| bad())?,
+            asn: Asn(fields[2].parse().map_err(|_| bad())?),
+            origin: Asn(fields[3].parse().map_err(|_| bad())?),
+            conn: Asn(fields[4].parse().map_err(|_| bad())?),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bdrmapit, Config};
+    use alias::AliasSets;
+    use as_rel::AsRelationships;
+    use bgp::IpToAs;
+    use net_types::Prefix;
+    use traceroute::{Hop, ReplyType, StopReason, Trace};
+
+    fn result() -> Annotated {
+        let oracle = IpToAs::from_pairs([
+            ("10.1.0.0/16".parse::<Prefix>().unwrap(), Asn(1)),
+            ("10.2.0.0/16".parse::<Prefix>().unwrap(), Asn(2)),
+        ]);
+        let traces = [Trace {
+            monitor: "vp".into(),
+            src: 1,
+            dst: net_types::parse_ipv4("10.2.0.99").unwrap(),
+            hops: vec![
+                Some(Hop {
+                    addr: net_types::parse_ipv4("10.1.0.1").unwrap(),
+                    reply: ReplyType::TimeExceeded,
+                }),
+                Some(Hop {
+                    addr: net_types::parse_ipv4("10.2.0.1").unwrap(),
+                    reply: ReplyType::TimeExceeded,
+                }),
+            ],
+            stop: StopReason::GapLimit,
+        }];
+        Bdrmapit::new(Config::default()).run(
+            &traces,
+            &AliasSets::empty(),
+            &oracle,
+            &AsRelationships::new(),
+        )
+    }
+
+    #[test]
+    fn annotations_roundtrip() {
+        let r = result();
+        let mut buf = Vec::new();
+        write_annotations(&mut buf, &r).unwrap();
+        let rows = read_annotations(&buf[..]).unwrap();
+        assert_eq!(rows.len(), r.graph.iface_addrs.len());
+        for row in &rows {
+            let idx = r.graph.iface_of_addr(row.addr).expect("known addr");
+            assert_eq!(row.origin, r.graph.iface_origin[idx.0 as usize].asn);
+        }
+    }
+
+    #[test]
+    fn links_csv_has_header_and_rows() {
+        let r = result();
+        let mut buf = Vec::new();
+        write_links(&mut buf, &r).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("ir_asn,conn_asn,iface_addr,last_hop\n"));
+        assert_eq!(text.lines().count(), 1 + r.interdomain_links().len());
+    }
+
+    #[test]
+    fn read_rejects_malformed() {
+        assert!(read_annotations(&b"header\nnot,a,row\n"[..]).is_err());
+        assert!(read_annotations(&b"header\n1.2.3.4,0,1,2,x\n"[..]).is_err());
+        // Header-only is fine.
+        assert!(read_annotations(&b"addr,ir,asn,origin_asn,conn_asn\n"[..])
+            .unwrap()
+            .is_empty());
+    }
+}

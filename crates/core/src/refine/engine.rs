@@ -1,0 +1,43 @@
+//! The refinement loop (§6.3): iterate router and interface annotation
+//! until the global annotation state repeats.
+//!
+//! The paper stops at a *repeated* state rather than an unchanged one —
+//! annotation dynamics can enter short cycles (Fig. 14 shows a two-step
+//! correction) — so every post-iteration state is hashed and the loop exits
+//! on the first recurrence, with a configurable iteration cap as a backstop.
+
+use crate::graph::IrGraph;
+use crate::refine::{interface, router};
+use crate::{AnnotationState, Config};
+use as_rel::{AsRelationships, CustomerCones};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Runs phase 3 to completion.
+pub fn refine(
+    graph: &IrGraph,
+    rels: &AsRelationships,
+    cones: &CustomerCones,
+    cfg: &Config,
+    state: &mut AnnotationState,
+) {
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(state_hash(state));
+    for i in 0..cfg.max_iterations {
+        router::annotate_routers(graph, state, rels, cones, cfg);
+        interface::annotate_interfaces(graph, state, rels, cones);
+        state.iterations = i + 1;
+        if !seen.insert(state_hash(state)) {
+            break;
+        }
+    }
+}
+
+/// Hash of the full annotation vector (routers + interfaces).
+fn state_hash(state: &AnnotationState) -> u64 {
+    let mut h = DefaultHasher::new();
+    state.router.hash(&mut h);
+    state.iface.hash(&mut h);
+    h.finish()
+}

@@ -1,0 +1,166 @@
+//! Election exceptions (§6.1.3).
+//!
+//! Two situations where the AS with the most votes is systematically wrong:
+//!
+//! * **Multihomed to a provider** (Fig. 11): a stub customer's border router
+//!   carries several provider-addressed interfaces but few links into the
+//!   customer's own space, so the provider out-votes the true owner. When a
+//!   single subsequent AS is a customer of an IR origin AS, the customer is
+//!   selected.
+//! * **Multiple peers/providers**: all interfaces share one origin AS and
+//!   every subsequent AS is a peer or provider of it (or the mirror image),
+//!   making the common denominator the operator — provided it retains at
+//!   least half the leading vote count.
+
+use crate::graph::Ir;
+use as_rel::{AsRelationships, Relationship};
+use net_types::{Asn, Counter};
+use std::collections::BTreeSet;
+
+/// Checks the exceptions given the post-correction link votes and the full
+/// vote counter (links + interface votes). Returns the exceptional
+/// annotation if one applies.
+pub fn check_exceptions(
+    ir: &Ir,
+    link_vote_ases: &BTreeSet<Asn>,
+    all_votes: &Counter<Asn>,
+    rels: &AsRelationships,
+) -> Option<Asn> {
+    // ---- multihomed customer ----
+    if link_vote_ases.len() == 1 {
+        let s = *link_vote_ases.iter().next().expect("one element");
+        if ir.origins.iter().any(|&o| rels.is_customer(s, o)) {
+            return Some(s);
+        }
+    }
+
+    let vote_guard = |candidate: Asn| -> bool {
+        let max = all_votes.max_count();
+        max == 0 || all_votes.get(&candidate) * 2 >= max
+    };
+
+    // ---- multiple peers/providers, single-origin form ----
+    if ir.origins.len() == 1 && link_vote_ases.len() >= 2 {
+        let o = *ir.origins.iter().next().expect("one origin");
+        let all_up = link_vote_ases.iter().all(|&s| {
+            s != o
+                && matches!(
+                    rels.relationship(s, o),
+                    Some(Relationship::Peer) | Some(Relationship::Provider)
+                )
+        });
+        if all_up && vote_guard(o) {
+            return Some(o);
+        }
+    }
+
+    // ---- mirror image: many origins, one subsequent AS above them all ----
+    if ir.origins.len() >= 2 && link_vote_ases.len() == 1 {
+        let s = *link_vote_ases.iter().next().expect("one element");
+        let above_all = ir.origins.iter().all(|&o| {
+            s != o
+                && matches!(
+                    rels.relationship(s, o),
+                    Some(Relationship::Peer) | Some(Relationship::Provider)
+                )
+        });
+        if above_all && vote_guard(s) {
+            return Some(s);
+        }
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::IrId;
+
+    fn ir(origins: &[u32]) -> Ir {
+        Ir {
+            id: IrId(0),
+            ifaces: vec![],
+            links: vec![],
+            origins: origins.iter().map(|&a| Asn(a)).collect(),
+            dests: BTreeSet::new(),
+        }
+    }
+
+    fn set(v: &[u32]) -> BTreeSet<Asn> {
+        v.iter().map(|&a| Asn(a)).collect()
+    }
+
+    #[test]
+    fn multihomed_customer_selected() {
+        let mut rels = AsRelationships::new();
+        rels.add_p2c(Asn(10), Asn(20)); // 20 is a customer of origin 10
+        let mut votes = Counter::new();
+        votes.add_n(Asn(10), 3); // provider out-votes...
+        votes.add_n(Asn(20), 1);
+        let got = check_exceptions(&ir(&[10]), &set(&[20]), &votes, &rels);
+        assert_eq!(got, Some(Asn(20)));
+    }
+
+    #[test]
+    fn multihomed_requires_relationship() {
+        let rels = AsRelationships::new();
+        let votes = Counter::new();
+        assert_eq!(
+            check_exceptions(&ir(&[10]), &set(&[20]), &votes, &rels),
+            None
+        );
+    }
+
+    #[test]
+    fn single_origin_multiple_uphill_neighbors() {
+        let mut rels = AsRelationships::new();
+        rels.add_p2c(Asn(20), Asn(10));
+        rels.add_p2p(Asn(30), Asn(10));
+        let mut votes = Counter::new();
+        votes.add_n(Asn(20), 2);
+        votes.add_n(Asn(30), 2);
+        votes.add_n(Asn(10), 2); // origin has exactly half the max
+        let got = check_exceptions(&ir(&[10]), &set(&[20, 30]), &votes, &rels);
+        assert_eq!(got, Some(Asn(10)));
+    }
+
+    #[test]
+    fn vote_guard_rejects_weak_candidate() {
+        let mut rels = AsRelationships::new();
+        rels.add_p2c(Asn(20), Asn(10));
+        rels.add_p2p(Asn(30), Asn(10));
+        let mut votes = Counter::new();
+        votes.add_n(Asn(20), 5);
+        votes.add_n(Asn(30), 1);
+        votes.add_n(Asn(10), 1); // less than half of 5
+        assert_eq!(
+            check_exceptions(&ir(&[10]), &set(&[20, 30]), &votes, &rels),
+            None
+        );
+    }
+
+    #[test]
+    fn mirror_form_single_subsequent_above_all_origins() {
+        let mut rels = AsRelationships::new();
+        rels.add_p2c(Asn(30), Asn(10));
+        rels.add_p2p(Asn(30), Asn(11));
+        let mut votes = Counter::new();
+        votes.add_n(Asn(30), 2);
+        votes.add_n(Asn(10), 2);
+        let got = check_exceptions(&ir(&[10, 11]), &set(&[30]), &votes, &rels);
+        assert_eq!(got, Some(Asn(30)));
+    }
+
+    #[test]
+    fn downhill_neighbor_blocks_exception() {
+        let mut rels = AsRelationships::new();
+        rels.add_p2c(Asn(20), Asn(10));
+        rels.add_p2c(Asn(10), Asn(30)); // 30 is a CUSTOMER of the origin
+        let votes = Counter::new();
+        assert_eq!(
+            check_exceptions(&ir(&[10]), &set(&[20, 30]), &votes, &rels),
+            None
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Hidden-AS detection (§6.1.5).
+//!
+//! A traceroute can traverse an AS without ever reporting one of its
+//! addresses — most often a small transit AS whose customer-side links use
+//! the customer's space and whose provider-side links use the provider's
+//! (Fig. 12). When the elected AS has no relationship with any IR origin
+//! AS, an AS that bridges the origin side and the elected side — customer
+//! of an origin-side AS and provider of the elected AS — is the likelier
+//! operator.
+
+use crate::graph::Ir;
+use as_rel::AsRelationships;
+use net_types::Asn;
+use std::collections::BTreeSet;
+
+/// If `selected` has a relationship with an IR origin AS, keeps it.
+/// Otherwise searches for a unique bridging AS between the origin side
+/// (`ir.origins` ∪ the link origin sets behind the winning votes) and
+/// `selected`; a unique bridge replaces the selection.
+pub fn check_hidden_as(
+    ir: &Ir,
+    selected: Asn,
+    vote_origins: &BTreeSet<Asn>,
+    rels: &AsRelationships,
+) -> Asn {
+    if ir
+        .origins
+        .iter()
+        .any(|&o| o == selected || rels.has_relationship(o, selected))
+    {
+        return selected;
+    }
+    let origin_side: BTreeSet<Asn> = ir
+        .origins
+        .iter()
+        .chain(vote_origins.iter())
+        .copied()
+        .filter(|&o| o != selected)
+        .collect();
+    let mut bridges: BTreeSet<Asn> = BTreeSet::new();
+    for p in rels.providers_of(selected) {
+        if origin_side.iter().any(|&o| rels.is_customer(p, o)) {
+            bridges.insert(p);
+        }
+    }
+    let mut it = bridges.into_iter();
+    match (it.next(), it.next()) {
+        (Some(bridge), None) => bridge,
+        _ => selected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::IrId;
+
+    fn ir(origins: &[u32]) -> Ir {
+        Ir {
+            id: IrId(0),
+            ifaces: vec![],
+            links: vec![],
+            origins: origins.iter().map(|&a| Asn(a)).collect(),
+            dests: BTreeSet::new(),
+        }
+    }
+
+    fn set(v: &[u32]) -> BTreeSet<Asn> {
+        v.iter().map(|&a| Asn(a)).collect()
+    }
+
+    #[test]
+    fn keeps_selection_with_relationship() {
+        let mut rels = AsRelationships::new();
+        rels.add_p2c(Asn(1), Asn(3));
+        assert_eq!(check_hidden_as(&ir(&[1]), Asn(3), &set(&[1]), &rels), Asn(3));
+    }
+
+    #[test]
+    fn finds_unique_bridge() {
+        // Fig. 12: origins {A=1}; selected C=3; hidden B=2 is a customer of
+        // A and a provider of C.
+        let mut rels = AsRelationships::new();
+        rels.add_p2c(Asn(1), Asn(2));
+        rels.add_p2c(Asn(2), Asn(3));
+        assert_eq!(check_hidden_as(&ir(&[1]), Asn(3), &set(&[1]), &rels), Asn(2));
+    }
+
+    #[test]
+    fn ambiguous_bridges_keep_selection() {
+        let mut rels = AsRelationships::new();
+        for b in [2u32, 4] {
+            rels.add_p2c(Asn(1), Asn(b));
+            rels.add_p2c(Asn(b), Asn(3));
+        }
+        assert_eq!(check_hidden_as(&ir(&[1]), Asn(3), &set(&[1]), &rels), Asn(3));
+    }
+
+    #[test]
+    fn no_bridge_keeps_selection() {
+        let rels = AsRelationships::new();
+        assert_eq!(check_hidden_as(&ir(&[1]), Asn(3), &set(&[1]), &rels), Asn(3));
+    }
+
+    #[test]
+    fn selection_in_origins_kept() {
+        let rels = AsRelationships::new();
+        assert_eq!(check_hidden_as(&ir(&[3]), Asn(3), &set(&[]), &rels), Asn(3));
+    }
+}

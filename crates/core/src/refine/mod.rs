@@ -1,0 +1,17 @@
+//! Phase 3: graph refinement (§6).
+//!
+//! Each iteration annotates every mid-path IR with its operating AS
+//! ([`router`], Algorithm 2), then re-annotates every interface with the AS
+//! it connects to ([`interface`], §6.2). Annotations propagate across the
+//! graph between iterations; the loop stops when the global state repeats
+//! ([`engine`], §6.3).
+
+pub mod engine;
+pub mod exceptions;
+pub mod hidden;
+pub mod interface;
+pub mod realloc;
+pub mod router;
+pub mod votes;
+
+pub use engine::refine;

@@ -1,0 +1,191 @@
+//! Router annotation (§6.1, Algorithm 2).
+
+use crate::graph::{Ir, IrGraph, LinkLabel};
+use crate::refine::{exceptions, hidden, realloc, votes};
+use crate::{AnnotationState, Config};
+use as_rel::{AsRelationships, CustomerCones};
+use bgp::OriginKind;
+use net_types::{Asn, Counter};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Annotates one IR (Algorithm 2), returning its new annotation
+/// ([`Asn::NONE`] when no evidence exists at all).
+pub fn annotate_ir(
+    ir: &Ir,
+    graph: &IrGraph,
+    state: &AnnotationState,
+    rels: &AsRelationships,
+    cones: &CustomerCones,
+    cfg: &Config,
+) -> Asn {
+    // §4.2: use only the highest-confidence label class present — Nexthop
+    // links when any exist, otherwise Echo, otherwise Multihop.
+    let best_label = ir
+        .links
+        .iter()
+        .map(|l| l.label)
+        .min()
+        .unwrap_or(LinkLabel::Multihop);
+    let usable: Vec<bool> = ir.links.iter().map(|l| l.label == best_label).collect();
+
+    // ---- Alg. 2 lines 3–7: per-link votes (Algorithm 3) ----
+    let mut link_votes: Vec<Option<Asn>> = ir
+        .links
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            if usable[i] {
+                votes::link_vote(ir, l, graph, state, rels, cones, cfg)
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    // ---- Alg. 2 line 8: reallocated-prefix correction (§6.1.2) ----
+    if cfg.enable_realloc {
+        realloc::correct_reallocated(ir, graph, state, rels, &mut link_votes, &usable);
+    }
+
+    // Tally V and the origin-set map M (Alg. 2 lines 5–7).
+    let mut v: Counter<Asn> = Counter::new();
+    let mut m: BTreeMap<Asn, BTreeSet<Asn>> = BTreeMap::new();
+    let mut link_vote_ases: BTreeSet<Asn> = BTreeSet::new();
+    for (i, vote) in link_votes.iter().enumerate() {
+        if let Some(a) = vote {
+            v.add(*a);
+            link_vote_ases.insert(*a);
+            m.entry(*a).or_default().extend(ir.links[i].origins.iter().copied());
+        }
+    }
+
+    // ---- Alg. 2 line 9: one vote per IR interface origin ----
+    for &ifidx in &ir.ifaces {
+        let o = graph.iface_origin[ifidx.0 as usize];
+        if o.asn.is_some() && o.kind != OriginKind::Ixp {
+            v.add(o.asn);
+        }
+    }
+
+    if v.is_empty() {
+        return Asn::NONE;
+    }
+
+    // ---- Alg. 2 line 10: exceptions (§6.1.3) ----
+    if cfg.enable_exceptions {
+        if let Some(a) = exceptions::check_exceptions(ir, &link_vote_ases, &v, rels) {
+            return a;
+        }
+    }
+
+    // ---- Alg. 2 lines 11–12: restricted election ----
+    // R = origins ∪ subsequent ASes backed by a relationship with a prior
+    // origin on their links.
+    let mut r: BTreeSet<Asn> = ir.origins.clone();
+    for (&cand, origins) in &m {
+        if origins.iter().any(|&o| o != cand && rels.has_relationship(o, cand)) {
+            r.insert(cand);
+        }
+    }
+    if r != ir.origins {
+        return elect(&v, &r, cones);
+    }
+
+    // ---- Alg. 2 lines 13–14: open election + hidden-AS check ----
+    let all: BTreeSet<Asn> = v.keys().copied().collect();
+    let a = elect(&v, &all, cones);
+    if cfg.enable_hidden_as {
+        let vote_origins = m.get(&a).cloned().unwrap_or_default();
+        return hidden::check_hidden_as(ir, a, &vote_origins, rels);
+    }
+    a
+}
+
+/// The election: most votes among `allowed`, ties to the smallest customer
+/// cone then the lowest ASN (§6.1.4).
+fn elect(v: &Counter<Asn>, allowed: &BTreeSet<Asn>, cones: &CustomerCones) -> Asn {
+    let mut best: Option<(u64, Asn)> = None;
+    for &cand in allowed {
+        let count = v.get(&cand);
+        if count == 0 {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((bc, ba)) => {
+                count > bc
+                    || (count == bc
+                        && (cones.size(cand), cand) < (cones.size(ba), ba))
+            }
+        };
+        if better {
+            best = Some((count, cand));
+        }
+    }
+    best.map(|(_, a)| a).unwrap_or(Asn::NONE)
+}
+
+/// Runs [`annotate_ir`] over every mid-path IR, updating `state.router` in
+/// place (annotations propagate within the sweep, §6.3).
+pub fn annotate_routers(
+    graph: &IrGraph,
+    state: &mut AnnotationState,
+    rels: &AsRelationships,
+    cones: &CustomerCones,
+    cfg: &Config,
+) {
+    for ir in graph.mid_path_irs() {
+        if state.frozen[ir.id.0 as usize] {
+            continue;
+        }
+        let a = annotate_ir(ir, graph, state, rels, cones, cfg);
+        if a.is_some() {
+            state.router[ir.id.0 as usize] = a;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elect_majority() {
+        let mut v = Counter::new();
+        v.add_n(Asn(1), 3);
+        v.add_n(Asn(2), 5);
+        let cones = CustomerCones::compute(&AsRelationships::new());
+        let allowed: BTreeSet<Asn> = [Asn(1), Asn(2)].into_iter().collect();
+        assert_eq!(elect(&v, &allowed, &cones), Asn(2));
+    }
+
+    #[test]
+    fn elect_tie_smallest_cone() {
+        let mut rels = AsRelationships::new();
+        rels.add_p2c(Asn(1), Asn(9));
+        let cones = CustomerCones::compute(&rels);
+        let mut v = Counter::new();
+        v.add_n(Asn(1), 4);
+        v.add_n(Asn(2), 4);
+        let allowed: BTreeSet<Asn> = [Asn(1), Asn(2)].into_iter().collect();
+        // AS1 has cone 2; AS2 is a stub (cone 1) → the presumed customer.
+        assert_eq!(elect(&v, &allowed, &cones), Asn(2));
+    }
+
+    #[test]
+    fn elect_respects_allowed_set() {
+        let mut v = Counter::new();
+        v.add_n(Asn(1), 10);
+        v.add_n(Asn(2), 1);
+        let cones = CustomerCones::compute(&AsRelationships::new());
+        let allowed: BTreeSet<Asn> = [Asn(2)].into_iter().collect();
+        assert_eq!(elect(&v, &allowed, &cones), Asn(2));
+    }
+
+    #[test]
+    fn elect_empty() {
+        let v = Counter::new();
+        let cones = CustomerCones::compute(&AsRelationships::new());
+        assert_eq!(elect(&v, &BTreeSet::new(), &cones), Asn::NONE);
+    }
+}

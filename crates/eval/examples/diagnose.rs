@@ -1,0 +1,122 @@
+//! Diagnostic dump for the internet-wide experiment (dev tool).
+
+use eval::experiments::run_bdrmapit;
+use eval::truth::{bdrmapit_pairs, mapit_pairs, true_pairs_of, visible_pairs};
+use eval::Scenario;
+use topo_gen::GeneratorConfig;
+
+fn main() {
+    let s = Scenario::build(GeneratorConfig::tiny(1604));
+    if std::env::args().nth(1).as_deref() == Some("abl") {
+        let ab = eval::experiments::heuristics::ablation(&s, 6, 17);
+        println!("{}", ab.render());
+        let st = eval::experiments::stats::corpus_stats(&s, &s.campaign(8, true, 4));
+        println!("{}", st.render());
+        let wide = eval::experiments::internet_wide::run(&s, 8, 22);
+        println!("{}", wide.render());
+        // Which Internet-wide visible pairs does the full config miss?
+        let bundle = s.campaign(6, true, 17);
+        let result = run_bdrmapit(&s, &bundle, bdrmapit_core::Config::default());
+        let pairs = bdrmapit_pairs(&result, None, true);
+        let visible = eval::truth::visible_pairs_all(&s.net, &bundle.traces, true);
+        for p in visible.difference(&pairs) {
+            let fw_a = s.net.is_firewalled(p.0);
+            let fw_b = s.net.is_firewalled(p.1);
+            println!("missed {:?} fw=({fw_a},{fw_b})", p);
+        }
+        let no_lh = run_bdrmapit(&s, &bundle, bdrmapit_core::Config {
+            enable_last_hop: false, ..Default::default()
+        });
+        let pairs_nl = bdrmapit_pairs(&no_lh, None, true);
+        println!("full-only pairs: {:?}", pairs.difference(&pairs_nl).collect::<Vec<_>>());
+        println!("nl-only pairs: {:?}", pairs_nl.difference(&pairs).collect::<Vec<_>>());
+        // Firewalled stub census.
+        use std::collections::BTreeSet;
+        let mut fw_even = Vec::new();
+        let mut fw_odd = Vec::new();
+        for n in s.net.graph.nodes.values() {
+            if n.firewalled {
+                if n.asn.0 % 2 == 0 { fw_even.push(n.asn) } else { fw_odd.push(n.asn) }
+            }
+        }
+        println!("firewalled even: {fw_even:?}\nfirewalled odd: {fw_odd:?}");
+        let mut seen_owner: BTreeSet<net_types::Asn> = BTreeSet::new();
+        for t in &bundle.traces {
+            for (_, h) in t.responsive() {
+                if let Some(i) = s.net.topology.iface_by_addr(h.addr) {
+                    seen_owner.insert(s.net.topology.owner(i.router));
+                }
+            }
+        }
+        for &f in fw_even.iter().chain(&fw_odd) {
+            println!("{f}: router observed = {}", seen_owner.contains(&f));
+        }
+        return;
+    }
+    let bundle = s.campaign(8, true, 22);
+    println!("traces: {}", bundle.traces.len());
+
+    let result = run_bdrmapit(&s, &bundle, bdrmapit_core::Config::default());
+    println!("iterations: {}", result.state.iterations);
+    println!("label dist: {:?}", result.graph.label_distribution());
+    println!(
+        "irs: {} (last-hop {}), ifaces {}",
+        result.graph.irs.len(),
+        result.graph.last_hop_irs().count(),
+        result.graph.iface_addrs.len()
+    );
+
+    let mut mp = mapit::Mapit::build(&bundle.traces, &s.ip2as);
+    mp.run(&mapit::MapitConfig::default());
+    let mp_links = mp.links();
+
+    for asn in s.validation.all() {
+        let truth_all = true_pairs_of(&s.net, asn);
+        let visible = visible_pairs(&s.net, &bundle.traces, asn, true);
+        let it_pairs = bdrmapit_pairs(&result, Some(asn), true);
+        let mp_pairs = mapit_pairs(&mp_links, Some(asn));
+        println!(
+            "\n== {} ({asn}) truth_all={} visible={} it_inferred={} mp_inferred={}",
+            s.validation.label(asn),
+            truth_all.len(),
+            visible.len(),
+            it_pairs.len(),
+            mp_pairs.len()
+        );
+        let missed: Vec<_> = visible.difference(&it_pairs).collect();
+        println!("it missed {} visible pairs:", missed.len());
+        for &&(a, b) in missed.iter().take(12) {
+            // Inspect the annotations on the true links of this pair.
+            let mut info = String::new();
+            for l in s.net.true_links() {
+                if eval::truth::pair(l.as_a, l.as_b) == (a, b) {
+                    let oa = result.owner_of_addr(l.addr_a);
+                    let ob = result.owner_of_addr(l.addr_b);
+                    let ia = result
+                        .graph
+                        .iface_of_addr(l.addr_a)
+                        .map(|i| result.state.iface[i.0 as usize]);
+                    let ib = result
+                        .graph
+                        .iface_of_addr(l.addr_b)
+                        .map(|i| result.state.iface[i.0 as usize]);
+                    info.push_str(&format!(
+                        " [link {}({}) r={:?} i={:?} -- {}({}) r={:?} i={:?}]",
+                        net_types::format_ipv4(l.addr_a),
+                        l.as_a,
+                        oa,
+                        ia,
+                        net_types::format_ipv4(l.addr_b),
+                        l.as_b,
+                        ob,
+                        ib
+                    ));
+                }
+            }
+            println!("  ({a}, {b}){info}");
+        }
+        let fp: Vec<_> = it_pairs.difference(&truth_all).collect();
+        println!("it false pairs: {fp:?}");
+    }
+}
+// (appended) — run `cargo run -p eval --example diagnose abl` for ablations

@@ -1,0 +1,57 @@
+//! Diagnose relationship-inference disagreements (dev tool).
+
+use as_rel::infer::{infer_relationships, InferenceConfig};
+use topo_gen::{GeneratorConfig, Internet};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let scale = std::env::args().nth(2).unwrap_or_default();
+    let cfg = if scale == "default" {
+        GeneratorConfig { seed, ..GeneratorConfig::default() }
+    } else {
+        GeneratorConfig::tiny(seed)
+    };
+    let net = Internet::generate(cfg);
+    let rib = net.build_rib();
+    let paths = rib.collapsed_paths();
+    let degrees = as_rel::infer::transit_degrees(&paths);
+    let mut ranked: Vec<_> = degrees.iter().map(|(&a, &d)| (d, a)).collect();
+    ranked.sort_unstable_by(|a, b| b.cmp(a));
+    println!("top degrees: {:?}", &ranked[..20.min(ranked.len())]);
+    let clique = as_rel::infer::infer_clique(&paths, &degrees, InferenceConfig::default().clique_candidates);
+    println!("inferred clique: {clique:?}");
+    let inferred = infer_relationships(&paths, &InferenceConfig::default());
+    let truth = &net.graph.relationships;
+    let mut confusion: std::collections::BTreeMap<(String, String), usize> =
+        std::collections::BTreeMap::new();
+    let mut wrong = Vec::new();
+    for (a, b, rel) in inferred.iter() {
+        if let Some(t) = truth.relationship(a, b) {
+            *confusion
+                .entry((format!("{t:?}"), format!("{rel:?}")))
+                .or_insert(0) += 1;
+            if t != rel {
+                wrong.push((a, b, t, rel));
+            }
+        }
+    }
+    println!("confusion (truth, inferred): {confusion:#?}");
+    for (a, b, t, r) in wrong.iter().take(20) {
+        let (ta, tb) = (
+            net.graph.node(*a).map(|n| n.tier),
+            net.graph.node(*b).map(|n| n.tier),
+        );
+        println!("{a}({ta:?}) -- {b}({tb:?}): truth {t:?}, inferred {r:?}");
+    }
+    // Also: truth edges entirely absent from inference.
+    let missing = truth
+        .iter()
+        .filter(|&(a, b, _)| !inferred.has_relationship(a, b))
+        .count();
+    println!("truth edges missing from inference: {missing} of {}", truth.len());
+    let (agree, common) = as_rel::infer::agreement(&inferred, truth);
+    println!("agreement: {agree}/{common} = {:.3}", agree as f64 / common as f64);
+}

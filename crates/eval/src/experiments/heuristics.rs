@@ -1,0 +1,152 @@
+//! Heuristic ablations.
+//!
+//! DESIGN.md calls out each bdrmapIT design choice as a toggle; this driver
+//! disables them one at a time on a fixed corpus and scores the overall
+//! precision/recall across all validation networks, quantifying what each
+//! heuristic buys (the paper argues §5's destination heuristic dominates
+//! the improvement over MAP-IT).
+
+use crate::experiments::{render_table, run_bdrmapit};
+use crate::scenario::Scenario;
+use crate::truth::{bdrmapit_pairs, true_pairs, visible_pairs_all, AsPair, LinkScore};
+use bdrmapit_core::Config;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One ablation row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Which variant ran.
+    pub variant: String,
+    /// Combined score across all validation networks.
+    pub score: LinkScore,
+    /// Interface-level router-annotation accuracy (more sensitive than
+    /// pair-level scores to the vote heuristics, which mostly correct
+    /// individual router attributions).
+    pub annotation_accuracy: f64,
+}
+
+/// Ablation results.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Ablation {
+    /// One row per variant, full config first.
+    pub rows: Vec<AblationRow>,
+}
+
+impl Ablation {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        render_table(
+            "Ablations — each heuristic disabled in turn",
+            &["variant", "precision", "recall", "ann acc", "inferred", "visible"],
+            &self
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.variant.clone(),
+                        format!("{:.3}", r.score.precision()),
+                        format!("{:.3}", r.score.recall()),
+                        format!("{:.4}", r.annotation_accuracy),
+                        r.score.inferred.to_string(),
+                        r.score.visible.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// The ablation variants.
+pub fn variants() -> Vec<(&'static str, Config)> {
+    let base = Config::default();
+    vec![
+        ("full", base.clone()),
+        (
+            "no-last-hop",
+            Config {
+                enable_last_hop: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-third-party",
+            Config {
+                enable_third_party: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-realloc",
+            Config {
+                enable_realloc: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-exceptions",
+            Config {
+                enable_exceptions: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-hidden-as",
+            Config {
+                enable_hidden_as: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-ixp",
+            Config {
+                enable_ixp_heuristic: false,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Runs all ablation variants on one corpus.
+pub fn ablation(s: &Scenario, n_vps: usize, seed: u64) -> Ablation {
+    let bundle = s.campaign(n_vps, true, seed);
+    // Internet-wide truth: ablations measure the heuristics' aggregate
+    // contribution, not just the four validation networks.
+    let truth_all = true_pairs(&s.net);
+    let visible = visible_pairs_all(&s.net, &bundle.traces, true);
+    let mut rows = Vec::new();
+    for (name, cfg) in variants() {
+        let result = run_bdrmapit(s, &bundle, cfg);
+        let pairs: BTreeSet<AsPair> = bdrmapit_pairs(&result, None, true);
+        rows.push(AblationRow {
+            variant: name.to_string(),
+            score: LinkScore::compute(&pairs, &truth_all, &visible),
+            annotation_accuracy: annotation_accuracy(s, &result),
+        });
+    }
+    Ablation { rows }
+}
+
+/// Fraction of observed interfaces whose IR annotation names the true
+/// router operator.
+pub fn annotation_accuracy(s: &Scenario, result: &bdrmapit_core::Annotated) -> f64 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (addr, asn) in result.router_annotations() {
+        if asn.is_none() {
+            continue;
+        }
+        let Some(iface) = s.net.topology.iface_by_addr(addr) else {
+            continue;
+        };
+        total += 1;
+        if s.net.topology.owner(iface.router) == asn {
+            correct += 1;
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        correct as f64 / total as f64
+    }
+}

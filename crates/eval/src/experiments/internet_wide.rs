@@ -1,0 +1,136 @@
+//! Figs. 16 & 17: Internet-wide mapping with no in-network VPs —
+//! bdrmapIT vs MAP-IT.
+//!
+//! One ITDK-style campaign with every validation-network VP removed; both
+//! tools run on identical input. Fig. 16 scores precision and recall over
+//! all visible links; Fig. 17 repeats the recall comparison with the
+//! links that only appear as traceroute last hops excluded, isolating the
+//! contribution of the destination-AS heuristic (§5) from mid-path
+//! inference quality.
+
+use crate::experiments::{render_table, run_bdrmapit};
+use crate::scenario::Scenario;
+use crate::truth::{bdrmapit_pairs, mapit_pairs, true_pairs_of, visible_pairs, LinkScore};
+use bdrmapit_core::Config;
+use mapit::{Mapit, MapitConfig};
+use net_types::Asn;
+use serde::{Deserialize, Serialize};
+
+/// Scores for one validation network under one tool.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ToolScore {
+    /// Link-level score.
+    pub score: LinkScore,
+}
+
+/// One network's row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WideRow {
+    /// Network label.
+    pub network: String,
+    /// Validation AS.
+    pub asn: Asn,
+    /// Visible links (the figure's per-group count).
+    pub visible_links: usize,
+    /// bdrmapIT score.
+    pub bdrmapit: LinkScore,
+    /// MAP-IT score.
+    pub mapit: LinkScore,
+}
+
+/// Figs. 16 & 17 results.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InternetWide {
+    /// Fig. 16 rows (all visible links).
+    pub fig16: Vec<WideRow>,
+    /// Fig. 17 rows (last-hop-only links excluded).
+    pub fig17: Vec<WideRow>,
+    /// Number of VPs probing.
+    pub vps: usize,
+    /// Total traces in the corpus.
+    pub traces: usize,
+}
+
+impl InternetWide {
+    /// Text rendering of both figures.
+    pub fn render(&self) -> String {
+        let fmt = |rows: &[WideRow], title: &str| {
+            render_table(
+                title,
+                &[
+                    "network", "visible", "IT prec", "IT recall", "MAPIT prec", "MAPIT recall",
+                ],
+                &rows
+                    .iter()
+                    .map(|r| {
+                        vec![
+                            r.network.clone(),
+                            r.visible_links.to_string(),
+                            format!("{:.3}", r.bdrmapit.precision()),
+                            format!("{:.3}", r.bdrmapit.recall()),
+                            format!("{:.3}", r.mapit.precision()),
+                            format!("{:.3}", r.mapit.recall()),
+                        ]
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        format!(
+            "{}\n{}",
+            fmt(
+                &self.fig16,
+                "Fig. 16 — No in-network VP: correctness & coverage"
+            ),
+            fmt(
+                &self.fig17,
+                "Fig. 17 — No in-network VP, last-hop-only links excluded"
+            )
+        )
+    }
+}
+
+/// Runs the experiment.
+pub fn run(s: &Scenario, n_vps: usize, seed: u64) -> InternetWide {
+    let bundle = s.campaign(n_vps, true, seed);
+    let it_result = run_bdrmapit(s, &bundle, Config::default());
+    let mut mp = Mapit::build(&bundle.traces, &s.ip2as);
+    mp.run(&MapitConfig::default());
+    let mp_links = mp.links();
+
+    let mut fig16 = Vec::new();
+    let mut fig17 = Vec::new();
+    for asn in s.validation.all() {
+        let truth_all = true_pairs_of(&s.net, asn);
+        let network = s.validation.label(asn).to_string();
+
+        // Fig. 16: everything visible.
+        let visible = visible_pairs(&s.net, &bundle.traces, asn, true);
+        let it_pairs = bdrmapit_pairs(&it_result, Some(asn), true);
+        let mp_pairs = mapit_pairs(&mp_links, Some(asn));
+        fig16.push(WideRow {
+            network: network.clone(),
+            asn,
+            visible_links: visible.len(),
+            bdrmapit: LinkScore::compute(&it_pairs, &truth_all, &visible),
+            mapit: LinkScore::compute(&mp_pairs, &truth_all, &visible),
+        });
+
+        // Fig. 17: last-hop-only links excluded from both sides.
+        let visible_mid = visible_pairs(&s.net, &bundle.traces, asn, false);
+        let it_pairs_mid = bdrmapit_pairs(&it_result, Some(asn), false);
+        fig17.push(WideRow {
+            network,
+            asn,
+            visible_links: visible_mid.len(),
+            bdrmapit: LinkScore::compute(&it_pairs_mid, &truth_all, &visible_mid),
+            mapit: LinkScore::compute(&mp_pairs, &truth_all, &visible_mid),
+        });
+    }
+
+    InternetWide {
+        fig16,
+        fig17,
+        vps: bundle.vps.len(),
+        traces: bundle.traces.len(),
+    }
+}

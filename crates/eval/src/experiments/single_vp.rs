@@ -1,0 +1,92 @@
+//! Fig. 15: single in-network VP — bdrmapIT vs bdrmap.
+//!
+//! The paper's regression test: for each ground-truth network, run both
+//! tools on the *same* single-VP corpus collected inside that network and
+//! compare the accuracy of the inferred border links. bdrmapIT should be at
+//! least as accurate ("bdrmapIT performs slightly more accurately than
+//! bdrmap, primarily due to mapping past the VP AS border").
+
+use crate::experiments::{render_table, run_bdrmapit};
+use crate::scenario::Scenario;
+use crate::truth::{bdrmap_pairs, bdrmapit_pairs, true_pairs_of, visible_pairs, LinkScore};
+use bdrmapit_core::Config;
+use net_types::Asn;
+use serde::{Deserialize, Serialize};
+
+/// One bar pair of Fig. 15.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig15Row {
+    /// Validation network label ("Tier 1", ...).
+    pub network: String,
+    /// The validation AS.
+    pub asn: Asn,
+    /// Interdomain links of this network visible in the corpus (the number
+    /// printed under each group in the paper's figure).
+    pub visible_links: usize,
+    /// bdrmapIT accuracy (fraction of its inferred links that are real).
+    pub bdrmapit: f64,
+    /// bdrmap accuracy on the identical corpus.
+    pub bdrmap: f64,
+}
+
+/// Fig. 15 results.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig15 {
+    /// One row per validation network.
+    pub rows: Vec<Fig15Row>,
+}
+
+impl Fig15 {
+    /// Text rendering in the figure's layout.
+    pub fn render(&self) -> String {
+        render_table(
+            "Fig. 15 — Single in-network VP: accuracy (bdrmapIT vs bdrmap)",
+            &["network", "visible", "bdrmapIT", "bdrmap"],
+            &self
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.network.clone(),
+                        r.visible_links.to_string(),
+                        format!("{:.3}", r.bdrmapit),
+                        format!("{:.3}", r.bdrmap),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Runs the experiment.
+pub fn fig15(s: &Scenario, seed: u64) -> Fig15 {
+    let mut rows = Vec::new();
+    for asn in s.validation.all() {
+        let bundle = s.single_vp_campaign(asn, seed);
+        let truth_all = true_pairs_of(&s.net, asn);
+        let visible = visible_pairs(&s.net, &bundle.traces, asn, true);
+
+        let it_result = run_bdrmapit(s, &bundle, Config::default());
+        let it_pairs = bdrmapit_pairs(&it_result, Some(asn), true);
+        let it_score = LinkScore::compute(&it_pairs, &truth_all, &visible);
+
+        let bm_result = bdrmap::run(
+            &bundle.traces,
+            &bundle.aliases,
+            &s.ip2as,
+            &s.rels,
+            Some(asn),
+        );
+        let bm_pairs = bdrmap_pairs(&bm_result);
+        let bm_score = LinkScore::compute(&bm_pairs, &truth_all, &visible);
+
+        rows.push(Fig15Row {
+            network: s.validation.label(asn).to_string(),
+            asn,
+            visible_links: visible.len(),
+            bdrmapit: it_score.precision(),
+            bdrmap: bm_score.precision(),
+        });
+    }
+    Fig15 { rows }
+}

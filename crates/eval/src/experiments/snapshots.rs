@@ -1,0 +1,234 @@
+//! Dual-snapshot experiments, matching the paper's figure axes.
+//!
+//! The paper evaluates two dataset snapshots — spring 2016 (March 2016
+//! ITDK, 109 VPs) and spring 2018 (February 2018 ITDK, 141 VPs) — and its
+//! figures group validation networks by year: Fig. 15 shows *2016 Tier 1,
+//! 2016 R&E 2, 2016 L Access, 2018 Tier 1*; Fig. 16 adds *2016 R&E 1* and
+//! *2018 R&E 1*. Two independently-seeded synthetic Internets stand in for
+//! the two years (operators change topology between snapshots; independent
+//! seeds model exactly that), and the drivers select the same groups the
+//! paper reports.
+
+use crate::experiments::{internet_wide, render_table, single_vp};
+use crate::scenario::Scenario;
+use net_types::Asn;
+use serde::{Deserialize, Serialize};
+use topo_gen::GeneratorConfig;
+
+/// Two synthetic snapshots standing in for the 2016 and 2018 datasets.
+#[derive(Debug)]
+pub struct Snapshots {
+    /// The "spring 2016" Internet.
+    pub y2016: Scenario,
+    /// The "spring 2018" Internet.
+    pub y2018: Scenario,
+}
+
+impl Snapshots {
+    /// Builds both snapshots from a base config; the 2018 snapshot gets an
+    /// independent seed derived from the base.
+    pub fn build(base: GeneratorConfig) -> Snapshots {
+        let seed_2016 = base.seed;
+        let seed_2018 = base.seed ^ 0x2018_2018;
+        let cfg_2016 = GeneratorConfig {
+            seed: seed_2016,
+            ..base.clone()
+        };
+        let cfg_2018 = GeneratorConfig {
+            seed: seed_2018,
+            ..base
+        };
+        Snapshots {
+            y2016: Scenario::build(cfg_2016),
+            y2018: Scenario::build(cfg_2018),
+        }
+    }
+}
+
+/// One year-labelled figure row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct YearRow<T> {
+    /// "2016" or "2018".
+    pub year: String,
+    /// Network label.
+    pub network: String,
+    /// Validation AS in that snapshot.
+    pub asn: Asn,
+    /// The measurement.
+    pub data: T,
+}
+
+/// Fig. 15 with the paper's exact groups.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig15Dual {
+    /// Rows in the paper's order: 2016 Tier 1, 2016 R&E 2, 2016 L Access,
+    /// 2018 Tier 1.
+    pub rows: Vec<YearRow<single_vp::Fig15Row>>,
+}
+
+impl Fig15Dual {
+    /// Text rendering in the paper's group order.
+    pub fn render(&self) -> String {
+        render_table(
+            "Fig. 15 — Single in-network VP (2016 & 2018 snapshots)",
+            &["group", "visible", "bdrmapIT", "bdrmap"],
+            &self
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        format!("{} {}", r.year, r.network),
+                        r.data.visible_links.to_string(),
+                        format!("{:.3}", r.data.bdrmapit),
+                        format!("{:.3}", r.data.bdrmap),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Runs Fig. 15 over both snapshots, selecting the paper's groups.
+pub fn fig15_dual(snaps: &Snapshots, seed: u64) -> Fig15Dual {
+    let f2016 = single_vp::fig15(&snaps.y2016, seed);
+    let f2018 = single_vp::fig15(&snaps.y2018, seed ^ 1);
+    let pick = |fig: &single_vp::Fig15, year: &'static str, label: &str| {
+        fig.rows
+            .iter()
+            .find(|r| r.network == label)
+            .map(|r| YearRow {
+                year: year.to_string(),
+                network: label.to_string(),
+                asn: r.asn,
+                data: r.clone(),
+            })
+    };
+    let rows = [
+        pick(&f2016, "2016", "Tier 1"),
+        pick(&f2016, "2016", "R&E 2"),
+        pick(&f2016, "2016", "L Access"),
+        pick(&f2018, "2018", "Tier 1"),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    Fig15Dual { rows }
+}
+
+/// Figs. 16 & 17 with the paper's exact groups.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig16Dual {
+    /// Fig. 16 rows: 2016 Tier 1, 2016 R&E 1, 2016 R&E 2, 2016 L Access,
+    /// 2018 Tier 1, 2018 R&E 1.
+    pub fig16: Vec<YearRow<internet_wide::WideRow>>,
+    /// The same groups with last-hop-only links excluded (Fig. 17).
+    pub fig17: Vec<YearRow<internet_wide::WideRow>>,
+}
+
+impl Fig16Dual {
+    /// Text rendering of both figures in the paper's group order.
+    pub fn render(&self) -> String {
+        let fmt = |rows: &[YearRow<internet_wide::WideRow>], title: &str| {
+            render_table(
+                title,
+                &[
+                    "group", "visible", "IT prec", "IT recall", "MAPIT prec", "MAPIT recall",
+                ],
+                &rows
+                    .iter()
+                    .map(|r| {
+                        vec![
+                            format!("{} {}", r.year, r.network),
+                            r.data.visible_links.to_string(),
+                            format!("{:.3}", r.data.bdrmapit.precision()),
+                            format!("{:.3}", r.data.bdrmapit.recall()),
+                            format!("{:.3}", r.data.mapit.precision()),
+                            format!("{:.3}", r.data.mapit.recall()),
+                        ]
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        format!(
+            "{}\n{}",
+            fmt(&self.fig16, "Fig. 16 — No in-network VP (2016 & 2018 snapshots)"),
+            fmt(
+                &self.fig17,
+                "Fig. 17 — No in-network VP, last-hop-only links excluded (2016 & 2018)"
+            )
+        )
+    }
+}
+
+/// Runs Figs. 16 & 17 over both snapshots.
+pub fn fig16_dual(snaps: &Snapshots, n_vps: usize, seed: u64) -> Fig16Dual {
+    let w2016 = internet_wide::run(&snaps.y2016, n_vps, seed);
+    let w2018 = internet_wide::run(&snaps.y2018, n_vps, seed ^ 1);
+    let pick = |rows: &[internet_wide::WideRow], year: &'static str, label: &str| {
+        rows.iter().find(|r| r.network == label).map(|r| YearRow {
+            year: year.to_string(),
+            network: label.to_string(),
+            asn: r.asn,
+            data: r.clone(),
+        })
+    };
+    let groups_2016 = ["Tier 1", "R&E 1", "R&E 2", "L Access"];
+    let groups_2018 = ["Tier 1", "R&E 1"];
+    let select = |w16: &[internet_wide::WideRow], w18: &[internet_wide::WideRow]| {
+        let mut out = Vec::new();
+        for g in groups_2016 {
+            out.extend(pick(w16, "2016", g));
+        }
+        for g in groups_2018 {
+            out.extend(pick(w18, "2018", g));
+        }
+        out
+    };
+    Fig16Dual {
+        fig16: select(&w2016.fig16, &w2018.fig16),
+        fig17: select(&w2016.fig17, &w2018.fig17),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_snapshots_have_independent_topologies() {
+        let snaps = Snapshots::build(GeneratorConfig::tiny(3));
+        assert_ne!(
+            snaps.y2016.rels.to_serial1(),
+            snaps.y2018.rels.to_serial1(),
+            "snapshots must differ"
+        );
+        // Same structural shape though.
+        assert_eq!(snaps.y2016.net.graph.len(), snaps.y2018.net.graph.len());
+    }
+
+    #[test]
+    fn fig15_dual_has_paper_groups() {
+        let snaps = Snapshots::build(GeneratorConfig::tiny(3));
+        let fig = fig15_dual(&snaps, 5);
+        let groups: Vec<String> = fig
+            .rows
+            .iter()
+            .map(|r| format!("{} {}", r.year, r.network))
+            .collect();
+        assert_eq!(
+            groups,
+            vec!["2016 Tier 1", "2016 R&E 2", "2016 L Access", "2018 Tier 1"]
+        );
+        assert!(fig.render().contains("2018 Tier 1"));
+    }
+
+    #[test]
+    fn fig16_dual_has_paper_groups() {
+        let snaps = Snapshots::build(GeneratorConfig::tiny(3));
+        let fig = fig16_dual(&snaps, 5, 7);
+        assert_eq!(fig.fig16.len(), 6);
+        assert_eq!(fig.fig17.len(), 6);
+        assert_eq!(fig.fig16[4].year, "2018");
+        assert!(fig.render().contains("Fig. 17"));
+    }
+}

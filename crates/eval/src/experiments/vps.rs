@@ -1,0 +1,135 @@
+//! Figs. 18 & 19: effect of decreasing the number of vantage points.
+//!
+//! The paper's headline negative result: accuracy does *not* diminish with
+//! fewer VPs, even though the number of visible links does. The sweep runs
+//! several random VP sets per group size, reporting mean ± standard error
+//! of precision/recall (Fig. 18) and of the fraction of links visible
+//! relative to the full VP pool (Fig. 19).
+
+use crate::experiments::{render_table, run_bdrmapit};
+use crate::metrics::mean_stderr;
+use crate::scenario::Scenario;
+use crate::truth::{bdrmapit_pairs, true_pairs_of, visible_pairs, LinkScore};
+use bdrmapit_core::Config;
+use net_types::Asn;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated measurements for one (group size, network) cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Network label.
+    pub network: String,
+    /// Validation AS.
+    pub asn: Asn,
+    /// Number of VPs in the group.
+    pub vps: usize,
+    /// Mean precision across the random sets.
+    pub precision_mean: f64,
+    /// Standard error of the precision.
+    pub precision_stderr: f64,
+    /// Mean recall.
+    pub recall_mean: f64,
+    /// Standard error of the recall.
+    pub recall_stderr: f64,
+    /// Mean fraction of links visible relative to the full-pool baseline
+    /// (Fig. 19).
+    pub visible_frac_mean: f64,
+    /// Standard error of the visible fraction.
+    pub visible_frac_stderr: f64,
+}
+
+/// Figs. 18 & 19 results.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VpSweep {
+    /// Group sizes swept.
+    pub groups: Vec<usize>,
+    /// Random sets per group.
+    pub sets_per_group: usize,
+    /// All cells.
+    pub cells: Vec<SweepCell>,
+}
+
+impl VpSweep {
+    /// Text rendering of both figures.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.vps.to_string(),
+                    c.network.clone(),
+                    format!("{:.3}±{:.3}", c.precision_mean, c.precision_stderr),
+                    format!("{:.3}±{:.3}", c.recall_mean, c.recall_stderr),
+                    format!("{:.3}±{:.3}", c.visible_frac_mean, c.visible_frac_stderr),
+                ]
+            })
+            .collect();
+        render_table(
+            "Figs. 18 & 19 — Varying the number of VPs",
+            &["#VPs", "network", "precision", "recall", "visible frac"],
+            &rows,
+        )
+    }
+}
+
+/// Runs the sweep. `groups` mirrors the paper's 20/40/60/80, scaled to the
+/// synthetic Internet's size.
+pub fn sweep(s: &Scenario, groups: &[usize], sets_per_group: usize, seed: u64) -> VpSweep {
+    // Full-pool baseline for Fig. 19's denominator: every eligible VP.
+    let max_vps = groups.iter().copied().max().unwrap_or(1) * 2;
+    let full = s.campaign(max_vps, true, seed ^ 0xF0F0);
+    let full_visible: Vec<usize> = s
+        .validation
+        .all()
+        .iter()
+        .map(|&asn| visible_pairs(&s.net, &full.traces, asn, true).len())
+        .collect();
+
+    let mut cells = Vec::new();
+    for &g in groups {
+        // Collect per-network samples across the random sets.
+        let nets = s.validation.all();
+        let mut precision: Vec<Vec<f64>> = vec![Vec::new(); nets.len()];
+        let mut recall: Vec<Vec<f64>> = vec![Vec::new(); nets.len()];
+        let mut vis_frac: Vec<Vec<f64>> = vec![Vec::new(); nets.len()];
+        for set_idx in 0..sets_per_group {
+            let vp_seed = seed
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add((g * 1000 + set_idx) as u64);
+            let bundle = s.campaign(g, true, vp_seed);
+            let result = run_bdrmapit(s, &bundle, Config::default());
+            for (i, &asn) in nets.iter().enumerate() {
+                let truth_all = true_pairs_of(&s.net, asn);
+                let visible = visible_pairs(&s.net, &bundle.traces, asn, true);
+                let pairs = bdrmapit_pairs(&result, Some(asn), true);
+                let score = LinkScore::compute(&pairs, &truth_all, &visible);
+                precision[i].push(score.precision());
+                recall[i].push(score.recall());
+                let denom = full_visible[i].max(1);
+                vis_frac[i].push(visible.len() as f64 / denom as f64);
+            }
+        }
+        for (i, &asn) in nets.iter().enumerate() {
+            let (pm, pe) = mean_stderr(&precision[i]);
+            let (rm, re) = mean_stderr(&recall[i]);
+            let (vm, ve) = mean_stderr(&vis_frac[i]);
+            cells.push(SweepCell {
+                network: s.validation.label(asn).to_string(),
+                asn,
+                vps: g,
+                precision_mean: pm,
+                precision_stderr: pe,
+                recall_mean: rm,
+                recall_stderr: re,
+                visible_frac_mean: vm,
+                visible_frac_stderr: ve,
+            });
+        }
+    }
+    VpSweep {
+        groups: groups.to_vec(),
+        sets_per_group,
+        cells,
+    }
+}

@@ -1,0 +1,27 @@
+//! Validation harness for bdrmapit-rs.
+//!
+//! Everything needed to regenerate the paper's evaluation (§7) on the
+//! synthetic Internet:
+//!
+//! * [`metrics`] — precision/recall/accuracy containers.
+//! * [`scenario`] — a reproducible experiment scenario: generated Internet,
+//!   collector RIB, IP→AS oracle, *inferred* AS relationships (as CAIDA
+//!   derives them from BGP), and the four validation networks mirroring the
+//!   paper's ground-truth set (a Tier-1, a large access network, two R&E
+//!   networks).
+//! * [`truth`] — ground-truth interdomain links and their visibility in a
+//!   given corpus.
+//! * [`experiments`] — one driver per paper figure/table. Each returns a
+//!   serializable result with a `render()` text table matching the figure's
+//!   rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod scenario;
+pub mod truth;
+
+pub use metrics::{Accuracy, PrecisionRecall};
+pub use scenario::{CorpusBundle, Scenario, ValidationNetworks};

@@ -1,0 +1,111 @@
+//! Evaluation metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Precision / recall over a set-membership task (Figs. 16–18).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrecisionRecall {
+    /// Inferences that are correct.
+    pub tp: usize,
+    /// Inferences that are wrong.
+    pub fp: usize,
+    /// Ground-truth items never inferred.
+    pub fn_: usize,
+}
+
+impl PrecisionRecall {
+    /// TP/(TP+FP); 1.0 when nothing was inferred (vacuous correctness).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// TP/(TP+FN); 1.0 when the truth set is empty.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Simple accuracy (Figs. 15, 20).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Accuracy {
+    /// Correct judgements.
+    pub correct: usize,
+    /// Total judgements.
+    pub total: usize,
+}
+
+impl Accuracy {
+    /// correct/total; 1.0 for an empty denominator.
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Mean and standard error of a sample (Fig. 18's error bars).
+pub fn mean_stderr(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, (var / n).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_recall_basic() {
+        let pr = PrecisionRecall { tp: 8, fp: 2, fn_: 2 };
+        assert!((pr.precision() - 0.8).abs() < 1e-12);
+        assert!((pr.recall() - 0.8).abs() < 1e-12);
+        assert!((pr.f1() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacuous_cases() {
+        let pr = PrecisionRecall::default();
+        assert_eq!(pr.precision(), 1.0);
+        assert_eq!(pr.recall(), 1.0);
+        let acc = Accuracy::default();
+        assert_eq!(acc.value(), 1.0);
+    }
+
+    #[test]
+    fn stderr() {
+        let (m, se) = mean_stderr(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((se - (1.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_stderr(&[]), (0.0, 0.0));
+        assert_eq!(mean_stderr(&[5.0]), (5.0, 0.0));
+    }
+}

@@ -1,0 +1,188 @@
+//! The paper-shape assertions: every figure's qualitative claim must hold
+//! on the synthetic Internet. Absolute numbers differ from the paper (our
+//! substrate is a simulator, not the authors' testbed); who wins, and
+//! roughly how, must not.
+
+use eval::experiments::{aliases, heuristics, internet_wide, single_vp, stats, vps};
+use eval::Scenario;
+use topo_gen::GeneratorConfig;
+
+fn scenario() -> Scenario {
+    Scenario::build(GeneratorConfig::tiny(1604))
+}
+
+#[test]
+fn fig15_bdrmapit_at_least_as_accurate_as_bdrmap() {
+    let s = scenario();
+    let fig = single_vp::fig15(&s, 15);
+    assert_eq!(fig.rows.len(), 4);
+    let mut it_sum = 0.0;
+    let mut bm_sum = 0.0;
+    for row in &fig.rows {
+        assert!(
+            row.bdrmapit >= 0.6,
+            "{}: bdrmapIT single-VP accuracy {:.3} too low",
+            row.network,
+            row.bdrmapit
+        );
+        it_sum += row.bdrmapit;
+        bm_sum += row.bdrmap;
+    }
+    assert!(
+        it_sum >= bm_sum - 0.05,
+        "bdrmapIT ({it_sum:.3}) regressed against bdrmap ({bm_sum:.3}) on aggregate"
+    );
+    let rendered = fig.render();
+    assert!(rendered.contains("Fig. 15"));
+    assert!(rendered.contains("Tier 1"));
+}
+
+#[test]
+fn fig16_bdrmapit_outrecalls_mapit_at_comparable_precision() {
+    let s = scenario();
+    let wide = internet_wide::run(&s, 8, 22);
+    assert_eq!(wide.fig16.len(), 4);
+    let mut it_recall = 0.0;
+    let mut mp_recall = 0.0;
+    for row in &wide.fig16 {
+        it_recall += row.bdrmapit.recall();
+        mp_recall += row.mapit.recall();
+        assert!(
+            row.bdrmapit.precision() >= 0.7,
+            "{}: precision {:.3} too low",
+            row.network,
+            row.bdrmapit.precision()
+        );
+    }
+    // The paper's headline: "vastly better recall".
+    assert!(
+        it_recall > mp_recall + 0.5,
+        "bdrmapIT recall {it_recall:.3} not clearly above MAP-IT {mp_recall:.3} (sum over 4 networks)"
+    );
+    assert!(wide.render().contains("Fig. 17"));
+}
+
+#[test]
+fn fig17_mid_path_recall_still_better() {
+    let s = scenario();
+    let wide = internet_wide::run(&s, 8, 22);
+    let it: f64 = wide.fig17.iter().map(|r| r.bdrmapit.recall()).sum();
+    let mp: f64 = wide.fig17.iter().map(|r| r.mapit.recall()).sum();
+    assert!(
+        it >= mp,
+        "mid-path recall: bdrmapIT {it:.3} below MAP-IT {mp:.3}"
+    );
+}
+
+#[test]
+fn fig18_accuracy_does_not_collapse_with_fewer_vps() {
+    let s = scenario();
+    let sweep = vps::sweep(&s, &[3, 6, 9], 3, 7);
+    assert_eq!(sweep.cells.len(), 3 * 4);
+    // Average precision at the smallest group must be within 0.1 of the
+    // largest group — the paper's flat-accuracy claim.
+    let avg = |vps: usize, f: &dyn Fn(&vps::SweepCell) -> f64| -> f64 {
+        let cells: Vec<&vps::SweepCell> =
+            sweep.cells.iter().filter(|c| c.vps == vps).collect();
+        cells.iter().map(|c| f(c)).sum::<f64>() / cells.len() as f64
+    };
+    let p_small = avg(3, &|c| c.precision_mean);
+    let p_large = avg(9, &|c| c.precision_mean);
+    assert!(
+        (p_small - p_large).abs() < 0.15,
+        "precision shifts with VPs: {p_small:.3} vs {p_large:.3}"
+    );
+    let r_small = avg(3, &|c| c.recall_mean);
+    let r_large = avg(9, &|c| c.recall_mean);
+    assert!(
+        (r_small - r_large).abs() < 0.2,
+        "recall shifts with VPs: {r_small:.3} vs {r_large:.3}"
+    );
+    // Fig. 19: link visibility *does* grow with more VPs.
+    let v_small = avg(3, &|c| c.visible_frac_mean);
+    let v_large = avg(9, &|c| c.visible_frac_mean);
+    assert!(
+        v_large >= v_small,
+        "visibility should grow with VPs: {v_small:.3} vs {v_large:.3}"
+    );
+    assert!(sweep.render().contains("Figs. 18 & 19"));
+}
+
+#[test]
+fn fig20_kapar_hurts_midar_does_not() {
+    let s = scenario();
+    let impact = aliases::fig20(&s, 8, 31);
+    // kapar's pair precision is the over-merge mechanism; it must be worse
+    // than midar's (which is perfect by construction).
+    assert!(impact.midar_pair_precision >= 0.999);
+    assert!(
+        impact.kapar_pair_precision <= impact.midar_pair_precision,
+        "kapar should over-merge"
+    );
+    // §7.4: with and without aliases the overall accuracy is nearly equal.
+    let delta = (impact.overall_midar.value() - impact.overall_none.value()).abs();
+    assert!(
+        delta < 0.05,
+        "no-alias accuracy delta {delta:.4} too large (paper: <0.001)"
+    );
+    // Fig. 20's shape: averaged over networks, kapar accuracy does not beat
+    // midar accuracy.
+    let midar_avg: f64 = impact.rows.iter().map(|r| r.midar.value()).sum::<f64>() / 4.0;
+    let kapar_avg: f64 = impact.rows.iter().map(|r| r.kapar.value()).sum::<f64>() / 4.0;
+    assert!(
+        kapar_avg <= midar_avg + 0.05,
+        "kapar accuracy {kapar_avg:.3} should not beat midar {midar_avg:.3}"
+    );
+    assert!(impact.render().contains("Fig. 20"));
+}
+
+#[test]
+fn ablations_full_config_is_best_or_close() {
+    let s = scenario();
+    let ab = heuristics::ablation(&s, 6, 17);
+    assert_eq!(ab.rows.len(), 7);
+    let full = &ab.rows[0];
+    assert_eq!(full.variant, "full");
+    // Disabling the last-hop heuristic must cost recall (the paper's
+    // largest single contribution).
+    let no_last = ab
+        .rows
+        .iter()
+        .find(|r| r.variant == "no-last-hop")
+        .expect("variant exists");
+    assert!(
+        no_last.score.recall() < full.score.recall(),
+        "last-hop heuristic contributed nothing: {:.3} vs {:.3}",
+        no_last.score.recall(),
+        full.score.recall()
+    );
+    assert!(ab.render().contains("Ablations"));
+}
+
+#[test]
+fn corpus_stats_match_paper_shape() {
+    let s = scenario();
+    let bundle = s.campaign(8, true, 4);
+    let st = stats::corpus_stats(&s, &bundle);
+    // Nexthop links dominate. (The paper reports 96.4%; the tiny test
+    // topology has few routers per AS, so distinct N links are scarce
+    // relative to echo destinations — the plurality claim is the
+    // scale-independent shape. See EXPERIMENTS.md for full-scale numbers.)
+    assert!(
+        st.nexthop_frac() > 0.45,
+        "nexthop share {:.3} too low",
+        st.nexthop_frac()
+    );
+    assert!(st.nexthop > st.echo, "N must outnumber E");
+    assert!(st.nexthop > st.multihop, "N must outnumber M");
+    // Most IRs are last-hop-only.
+    assert!(
+        st.last_hop_frac() > 0.5,
+        "last-hop share {:.3} too low",
+        st.last_hop_frac()
+    );
+    // Nearly every observed interface resolves to an AS.
+    let resolved = st.resolved_interfaces as f64 / st.interfaces as f64;
+    assert!(resolved > 0.95, "only {resolved:.3} resolved");
+    assert!(st.render().contains("Table 3"));
+}

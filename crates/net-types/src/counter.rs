@@ -1,0 +1,195 @@
+//! A small multiset used to tally votes in bdrmapIT's election heuristics.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A multiset (bag) over an ordered key type.
+///
+/// The bdrmapIT algorithm (§6.1, §6.2 of the paper) is a long series of
+/// "count votes, take the max, break ties by X" steps. Iteration order must
+/// never leak into results, so keys live in a `BTreeMap`: `max_keys` returns
+/// tied keys in a deterministic (ascending) order and callers apply the
+/// paper's documented tie-breaks on top.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter<K: Ord> {
+    counts: BTreeMap<K, u64>,
+}
+
+impl<K: Ord + Clone> Counter<K> {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Counter {
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Adds one vote for `key`.
+    pub fn add(&mut self, key: K) {
+        self.add_n(key, 1);
+    }
+
+    /// Adds `n` votes for `key`.
+    pub fn add_n(&mut self, key: K, n: u64) {
+        if n > 0 {
+            *self.counts.entry(key).or_insert(0) += n;
+        }
+    }
+
+    /// Moves all votes from `from` onto `to` (used by the reallocated-prefix
+    /// correction, which re-assigns a provider's votes to its customer).
+    pub fn transfer(&mut self, from: &K, to: K) {
+        if let Some(n) = self.counts.remove(from) {
+            self.add_n(to, n);
+        }
+    }
+
+    /// Removes a key entirely, returning its count.
+    pub fn remove(&mut self, key: &K) -> u64 {
+        self.counts.remove(key).unwrap_or(0)
+    }
+
+    /// Votes for `key` (0 if absent).
+    pub fn get(&self, key: &K) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if no votes have been cast.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total votes across all keys.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The highest vote count, or 0 when empty.
+    pub fn max_count(&self) -> u64 {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// All keys tied for the highest vote count, in ascending key order.
+    pub fn max_keys(&self) -> Vec<K> {
+        let max = self.max_count();
+        if max == 0 {
+            return Vec::new();
+        }
+        self.counts
+            .iter()
+            .filter(|(_, &c)| c == max)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// The single winner if exactly one key holds the max, else `None`.
+    pub fn unique_max(&self) -> Option<K> {
+        let mut keys = self.max_keys();
+        if keys.len() == 1 {
+            keys.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over `(key, count)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.counts.iter().map(|(k, &c)| (k, c))
+    }
+
+    /// Iterates over the keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.counts.keys()
+    }
+}
+
+impl<K: Ord + Clone> FromIterator<K> for Counter<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut c = Counter::new();
+        for k in iter {
+            c.add(k);
+        }
+        c
+    }
+}
+
+impl<K: Ord + Clone> Extend<K> for Counter<K> {
+    fn extend<I: IntoIterator<Item = K>>(&mut self, iter: I) {
+        for k in iter {
+            self.add(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_votes() {
+        let mut c = Counter::new();
+        c.add("a");
+        c.add("b");
+        c.add("a");
+        assert_eq!(c.get(&"a"), 2);
+        assert_eq!(c.get(&"b"), 1);
+        assert_eq!(c.get(&"z"), 0);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.max_count(), 2);
+        assert_eq!(c.unique_max(), Some("a"));
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let mut c = Counter::new();
+        c.add_n(3u32, 5);
+        c.add_n(1u32, 5);
+        c.add_n(2u32, 4);
+        assert_eq!(c.max_keys(), vec![1, 3]);
+        assert_eq!(c.unique_max(), None);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let c: Counter<u32> = Counter::new();
+        assert!(c.is_empty());
+        assert_eq!(c.max_count(), 0);
+        assert!(c.max_keys().is_empty());
+        assert_eq!(c.unique_max(), None);
+    }
+
+    #[test]
+    fn transfer_moves_votes() {
+        let mut c = Counter::new();
+        c.add_n("provider", 4);
+        c.add_n("customer", 1);
+        c.transfer(&"provider", "customer");
+        assert_eq!(c.get(&"provider"), 0);
+        assert_eq!(c.get(&"customer"), 5);
+        // Transferring an absent key is a no-op.
+        c.transfer(&"ghost", "customer");
+        assert_eq!(c.get(&"customer"), 5);
+    }
+
+    #[test]
+    fn add_zero_is_noop() {
+        let mut c = Counter::new();
+        c.add_n("a", 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn from_and_extend() {
+        let mut c: Counter<u8> = [1, 2, 2, 3].into_iter().collect();
+        c.extend([3, 3]);
+        assert_eq!(c.get(&1), 1);
+        assert_eq!(c.get(&2), 2);
+        assert_eq!(c.get(&3), 3);
+        assert_eq!(c.unique_max(), Some(3));
+    }
+}

@@ -1,0 +1,419 @@
+//! A path-compressed binary radix (Patricia) trie keyed by IPv4 prefixes.
+//!
+//! This is the longest-prefix-match engine behind every IP→origin-AS lookup
+//! in the workspace. A full ITDK-scale run performs tens of millions of
+//! lookups, so the trie is arena-allocated (nodes live in a `Vec`, children
+//! are indices) and lookups perform no allocation and no pointer chasing
+//! beyond the arena.
+
+use crate::Prefix;
+use serde::{Deserialize, Serialize};
+
+const NO_NODE: u32 = u32::MAX;
+
+/// One trie node. `prefix` is the full key path down to this node; interior
+/// nodes created by path compression carry `value: None`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Node<T> {
+    prefix: Prefix,
+    value: Option<T>,
+    /// Children indexed by the bit immediately after `prefix.len()`.
+    child: [u32; 2],
+}
+
+/// A map from IPv4 prefixes to values with longest-prefix-match lookup.
+///
+/// ```
+/// use net_types::{Prefix, PrefixTrie, parse_ipv4};
+/// let mut t = PrefixTrie::new();
+/// t.insert("10.0.0.0/8".parse().unwrap(), "big");
+/// t.insert("10.1.0.0/16".parse().unwrap(), "small");
+/// let (p, v) = t.longest_match(parse_ipv4("10.1.2.3").unwrap()).unwrap();
+/// assert_eq!(*v, "small");
+/// assert_eq!(p.to_string(), "10.1.0.0/16");
+/// let (_, v) = t.longest_match(parse_ipv4("10.9.9.9").unwrap()).unwrap();
+/// assert_eq!(*v, "big");
+/// assert!(t.longest_match(parse_ipv4("11.0.0.0").unwrap()).is_none());
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PrefixTrie<T> {
+    nodes: Vec<Node<T>>,
+    root: u32,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: Vec::new(),
+            root: NO_NODE,
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored (interior path-compression nodes excluded).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no prefix has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, prefix: Prefix, value: Option<T>) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            prefix,
+            value,
+            child: [NO_NODE, NO_NODE],
+        });
+        idx
+    }
+
+    /// Length of the longest common prefix of two prefixes, capped at both
+    /// lengths.
+    fn common_len(a: Prefix, b: Prefix) -> u8 {
+        let max = a.len().min(b.len());
+        let diff = a.addr() ^ b.addr();
+        let lead = diff.leading_zeros() as u8;
+        lead.min(max)
+    }
+
+    /// Inserts `prefix → value`, returning the previous value if the prefix
+    /// was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        if self.root == NO_NODE {
+            self.root = self.alloc(prefix, Some(value));
+            self.len += 1;
+            return None;
+        }
+        let mut cur = self.root;
+        let mut parent: u32 = NO_NODE;
+        let mut parent_slot = 0usize;
+        loop {
+            let node_prefix = self.nodes[cur as usize].prefix;
+            let common = Self::common_len(prefix, node_prefix);
+            if common == node_prefix.len() && common == prefix.len() {
+                // Exact node for this prefix (possibly an interior node).
+                let old = self.nodes[cur as usize].value.replace(value);
+                if old.is_none() {
+                    self.len += 1;
+                }
+                return old;
+            }
+            if common == node_prefix.len() {
+                // `prefix` extends below this node; descend.
+                let bit = prefix.bit(node_prefix.len()) as usize;
+                let next = self.nodes[cur as usize].child[bit];
+                if next == NO_NODE {
+                    let leaf = self.alloc(prefix, Some(value));
+                    self.nodes[cur as usize].child[bit] = leaf;
+                    self.len += 1;
+                    return None;
+                }
+                parent = cur;
+                parent_slot = bit;
+                cur = next;
+                continue;
+            }
+            // Split: the node's path and the new prefix diverge at `common`
+            // (or the new prefix is a strict ancestor of the node).
+            let joint = Prefix::new(node_prefix.addr(), common);
+            if common == prefix.len() {
+                // New prefix is an ancestor of the existing node.
+                let new_node = self.alloc(prefix, Some(value));
+                let bit = node_prefix.bit(common) as usize;
+                self.nodes[new_node as usize].child[bit] = cur;
+                self.attach(parent, parent_slot, new_node);
+                self.len += 1;
+                return None;
+            }
+            // True divergence: make an interior joint node with two children.
+            let joint_node = self.alloc(joint, None);
+            let leaf = self.alloc(prefix, Some(value));
+            let node_bit = node_prefix.bit(common) as usize;
+            let new_bit = prefix.bit(common) as usize;
+            debug_assert_ne!(node_bit, new_bit);
+            self.nodes[joint_node as usize].child[node_bit] = cur;
+            self.nodes[joint_node as usize].child[new_bit] = leaf;
+            self.attach(parent, parent_slot, joint_node);
+            self.len += 1;
+            return None;
+        }
+    }
+
+    fn attach(&mut self, parent: u32, slot: usize, node: u32) {
+        if parent == NO_NODE {
+            self.root = node;
+        } else {
+            self.nodes[parent as usize].child[slot] = node;
+        }
+    }
+
+    /// Exact-match lookup of a prefix.
+    pub fn get(&self, prefix: Prefix) -> Option<&T> {
+        let mut cur = self.root;
+        while cur != NO_NODE {
+            let node = &self.nodes[cur as usize];
+            let np = node.prefix;
+            if !np.covers(prefix) {
+                return None;
+            }
+            if np.len() == prefix.len() {
+                return node.value.as_ref();
+            }
+            cur = node.child[prefix.bit(np.len()) as usize];
+        }
+        None
+    }
+
+    /// Longest-prefix-match for an address: returns the most specific stored
+    /// prefix containing `addr`, with its value.
+    pub fn longest_match(&self, addr: u32) -> Option<(Prefix, &T)> {
+        let target = Prefix::host(addr);
+        let mut best: Option<(Prefix, &T)> = None;
+        let mut cur = self.root;
+        while cur != NO_NODE {
+            let node = &self.nodes[cur as usize];
+            if !node.prefix.contains(addr) {
+                break;
+            }
+            if let Some(v) = &node.value {
+                best = Some((node.prefix, v));
+            }
+            if node.prefix.len() == 32 {
+                break;
+            }
+            cur = node.child[target.bit(node.prefix.len()) as usize];
+        }
+        best
+    }
+
+    /// All stored prefixes containing `addr`, shortest first.
+    pub fn matches(&self, addr: u32) -> Vec<(Prefix, &T)> {
+        let target = Prefix::host(addr);
+        let mut out = Vec::new();
+        let mut cur = self.root;
+        while cur != NO_NODE {
+            let node = &self.nodes[cur as usize];
+            if !node.prefix.contains(addr) {
+                break;
+            }
+            if let Some(v) = &node.value {
+                out.push((node.prefix, v));
+            }
+            if node.prefix.len() == 32 {
+                break;
+            }
+            cur = node.child[target.bit(node.prefix.len()) as usize];
+        }
+        out
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &T)> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.value.as_ref().map(|v| (n.prefix, v)))
+    }
+}
+
+impl<T> FromIterator<(Prefix, T)> for PrefixTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, T)>>(iter: I) -> Self {
+        let mut t = PrefixTrie::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> u32 {
+        crate::parse_ipv4(s).unwrap()
+    }
+
+    #[test]
+    fn empty() {
+        let t: PrefixTrie<u32> = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert!(t.longest_match(0).is_none());
+        assert!(t.get(p("0.0.0.0/0")).is_none());
+    }
+
+    #[test]
+    fn single_default_route() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::DEFAULT, 99u32);
+        assert_eq!(t.longest_match(ip("1.2.3.4")).unwrap().1, &99);
+        assert_eq!(t.longest_match(ip("255.255.255.255")).unwrap().1, &99);
+    }
+
+    #[test]
+    fn nested_lpm() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.1.2.0/24"), 24);
+        t.insert(p("10.1.2.128/25"), 25);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.longest_match(ip("10.1.2.200")).unwrap().1, &25);
+        assert_eq!(t.longest_match(ip("10.1.2.5")).unwrap().1, &24);
+        assert_eq!(t.longest_match(ip("10.1.99.1")).unwrap().1, &16);
+        assert_eq!(t.longest_match(ip("10.99.99.1")).unwrap().1, &8);
+        assert!(t.longest_match(ip("11.0.0.1")).is_none());
+    }
+
+    #[test]
+    fn divergent_siblings() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/24"), 1);
+        t.insert(p("10.0.1.0/24"), 2);
+        t.insert(p("192.168.0.0/16"), 3);
+        assert_eq!(t.longest_match(ip("10.0.0.1")).unwrap().1, &1);
+        assert_eq!(t.longest_match(ip("10.0.1.1")).unwrap().1, &2);
+        assert_eq!(t.longest_match(ip("192.168.5.5")).unwrap().1, &3);
+        assert!(t.longest_match(ip("10.0.2.1")).is_none());
+    }
+
+    #[test]
+    fn insert_ancestor_after_descendant() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.2.0/24"), 24);
+        t.insert(p("10.0.0.0/8"), 8);
+        assert_eq!(t.longest_match(ip("10.1.2.3")).unwrap().1, &24);
+        assert_eq!(t.longest_match(ip("10.200.0.1")).unwrap().1, &8);
+    }
+
+    #[test]
+    fn replace_value() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.longest_match(ip("10.0.0.1")).unwrap().1, &2);
+    }
+
+    #[test]
+    fn interior_node_gets_value_later() {
+        let mut t = PrefixTrie::new();
+        // These two force an interior joint node at 10.0.0.0/23.
+        t.insert(p("10.0.0.0/24"), 1);
+        t.insert(p("10.0.1.0/24"), 2);
+        // Now fill in the joint itself.
+        t.insert(p("10.0.0.0/23"), 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.longest_match(ip("10.0.0.1")).unwrap().1, &1);
+        assert_eq!(t.longest_match(ip("10.0.1.1")).unwrap().1, &2);
+        assert_eq!(t.get(p("10.0.0.0/23")), Some(&3));
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), 1);
+        t.insert(p("1.2.3.5/32"), 2);
+        assert_eq!(t.longest_match(ip("1.2.3.4")).unwrap().1, &1);
+        assert_eq!(t.longest_match(ip("1.2.3.5")).unwrap().1, &2);
+        assert!(t.longest_match(ip("1.2.3.6")).is_none());
+    }
+
+    #[test]
+    fn matches_returns_chain() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 0);
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        let chain: Vec<u8> = t
+            .matches(ip("10.1.2.3"))
+            .iter()
+            .map(|(pr, _)| pr.len())
+            .collect();
+        assert_eq!(chain, vec![0, 8, 16]);
+    }
+
+    #[test]
+    fn iter_sees_all() {
+        let mut t = PrefixTrie::new();
+        let prefixes = [p("10.0.0.0/8"), p("10.0.0.0/24"), p("172.16.0.0/12")];
+        for (i, pr) in prefixes.iter().enumerate() {
+            t.insert(*pr, i);
+        }
+        let mut seen: Vec<Prefix> = t.iter().map(|(pr, _)| pr).collect();
+        seen.sort();
+        let mut want = prefixes.to_vec();
+        want.sort();
+        assert_eq!(seen, want);
+    }
+
+    /// Naive reference: linear scan for the longest containing prefix.
+    fn naive_lpm(entries: &[(Prefix, u32)], addr: u32) -> Option<(Prefix, u32)> {
+        entries
+            .iter()
+            .filter(|(pr, _)| pr.contains(addr))
+            .max_by_key(|(pr, _)| pr.len())
+            .copied()
+    }
+
+    proptest! {
+        #[test]
+        fn trie_matches_naive(
+            raw in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..120),
+            queries in proptest::collection::vec(any::<u32>(), 1..60),
+        ) {
+            // Deduplicate canonical prefixes, keeping the LAST value for each,
+            // matching insert-overwrites semantics.
+            let mut entries: Vec<(Prefix, u32)> = Vec::new();
+            let mut t = PrefixTrie::new();
+            for (i, (addr, len)) in raw.iter().enumerate() {
+                let pr = Prefix::new(*addr, *len);
+                t.insert(pr, i as u32);
+                entries.retain(|(e, _)| *e != pr);
+                entries.push((pr, i as u32));
+            }
+            prop_assert_eq!(t.len(), entries.len());
+            for q in queries {
+                let got = t.longest_match(q).map(|(pr, v)| (pr, *v));
+                let want = naive_lpm(&entries, q);
+                // The longest prefix is unique, so compare prefixes, then values.
+                prop_assert_eq!(got.map(|g| g.0), want.map(|w| w.0));
+                prop_assert_eq!(got.map(|g| g.1), want.map(|w| w.1));
+            }
+        }
+
+        #[test]
+        fn get_after_insert(raw in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..80)) {
+            let mut t = PrefixTrie::new();
+            for (i, (addr, len)) in raw.iter().enumerate() {
+                t.insert(Prefix::new(*addr, *len), i);
+            }
+            // Every inserted prefix must be retrievable (value = last write).
+            for (i, (addr, len)) in raw.iter().enumerate() {
+                let pr = Prefix::new(*addr, *len);
+                let last = raw.iter().enumerate()
+                    .filter(|(_, (a2, l2))| Prefix::new(*a2, *l2) == pr)
+                    .map(|(j, _)| j)
+                    .max()
+                    .unwrap();
+                let _ = i;
+                prop_assert_eq!(t.get(pr), Some(&last));
+            }
+        }
+    }
+}

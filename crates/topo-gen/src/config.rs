@@ -1,0 +1,187 @@
+//! Generator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything the generator needs to build a synthetic Internet.
+///
+/// All probabilities are per-event; all counts are exact. Two configs with
+/// the same field values (including `seed`) produce identical Internets.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// RNG seed; every derived artifact is a pure function of the config.
+    pub seed: u64,
+
+    // ---- AS-level graph shape ----
+    /// Tier-1 clique size (full mesh of peering).
+    pub clique_size: usize,
+    /// Number of large transit providers.
+    pub transit_count: usize,
+    /// Number of access/eyeball networks.
+    pub access_count: usize,
+    /// Number of research & education networks.
+    pub re_count: usize,
+    /// Number of stub/edge ASes.
+    pub stub_count: usize,
+    /// Number of IXPs.
+    pub ixp_count: usize,
+    /// Probability that a transit AS peers with another transit AS.
+    pub transit_peering_prob: f64,
+    /// Probability that an access/R&E network joins a given IXP.
+    pub ixp_join_prob: f64,
+    /// Probability a stub is multihomed (two providers instead of one).
+    pub stub_multihome_prob: f64,
+
+    // ---- router-level shape ----
+    /// Routers per clique AS.
+    pub routers_clique: usize,
+    /// Routers per transit AS.
+    pub routers_transit: usize,
+    /// Routers per access AS.
+    pub routers_access: usize,
+    /// Routers per R&E AS.
+    pub routers_re: usize,
+    /// Routers per stub AS.
+    pub routers_stub: usize,
+    /// Extra random internal chords per AS beyond the connecting ring.
+    pub internal_chord_factor: f64,
+    /// Maximum parallel router-level links for one AS adjacency.
+    pub max_parallel_links: usize,
+
+    // ---- addressing pathologies ----
+    /// Probability a transit link is numbered from the CUSTOMER's space
+    /// (contrary to convention; creates hidden-AS cases, §6.1.5).
+    pub customer_addressed_link_prob: f64,
+    /// Probability a stub customer receives a reallocated /24 from its
+    /// provider which stays aggregated in BGP (§4.4, §6.1.2).
+    pub realloc_prob: f64,
+    /// Probability an AS's delegation record is stale (points at previous
+    /// holder's org).
+    pub stale_rir_prob: f64,
+    /// Probability an AS numbers some internal links from unannounced,
+    /// undelegated space (§6.1.1 "unannounced addresses").
+    pub unannounced_space_prob: f64,
+    /// Probability an IXP LAN prefix is (incorrectly) originated into BGP by
+    /// one of its members (§4.1 motivates the IXP prefix list with this).
+    pub ixp_bgp_leak_prob: f64,
+
+    // ---- traceroute response behaviours ----
+    /// Probability a router never answers traceroute probes.
+    pub router_silent_prob: f64,
+    /// Probability a router answers with its egress (reply-direction)
+    /// interface instead of the ingress interface (third-party addresses).
+    pub router_egress_reply_prob: f64,
+    /// Per-probe probability a responsive router drops this one response
+    /// (ICMP rate limiting).
+    pub rate_limit_prob: f64,
+    /// Probability a stub AS firewalls all external probes (§5's motivating
+    /// case: the last hop belongs to the network before the silent edge).
+    pub stub_firewall_prob: f64,
+    /// Probability an echo reply is sourced from the router's loopback-style
+    /// id interface instead of the probed address (off-path echo, §4.2).
+    pub echo_offpath_prob: f64,
+
+    // ---- collectors ----
+    /// Number of ASes peering with the synthetic route collectors.
+    pub collector_peers: usize,
+}
+
+impl Default for GeneratorConfig {
+    /// A mid-sized Internet: large enough to exhibit every pathology, small
+    /// enough for debug-mode tests.
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 0x6264_726d,
+            clique_size: 6,
+            transit_count: 20,
+            access_count: 40,
+            re_count: 10,
+            stub_count: 200,
+            ixp_count: 4,
+            transit_peering_prob: 0.25,
+            ixp_join_prob: 0.3,
+            stub_multihome_prob: 0.3,
+            routers_clique: 24,
+            routers_transit: 12,
+            routers_access: 8,
+            routers_re: 6,
+            routers_stub: 2,
+            internal_chord_factor: 0.5,
+            max_parallel_links: 2,
+            customer_addressed_link_prob: 0.05,
+            realloc_prob: 0.12,
+            stale_rir_prob: 0.05,
+            unannounced_space_prob: 0.03,
+            ixp_bgp_leak_prob: 0.3,
+            router_silent_prob: 0.02,
+            router_egress_reply_prob: 0.05,
+            rate_limit_prob: 0.008,
+            stub_firewall_prob: 0.25,
+            echo_offpath_prob: 0.1,
+            collector_peers: 25,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A small Internet for fast unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            clique_size: 3,
+            transit_count: 5,
+            access_count: 8,
+            re_count: 2,
+            stub_count: 30,
+            ixp_count: 2,
+            collector_peers: 8,
+            routers_clique: 8,
+            routers_transit: 5,
+            routers_access: 4,
+            routers_re: 3,
+            routers_stub: 2,
+            ..Self::default()
+        }
+    }
+
+    /// An ITDK-scale Internet for the paper experiments (release mode).
+    pub fn itdk_scale(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            clique_size: 10,
+            transit_count: 60,
+            access_count: 150,
+            re_count: 30,
+            stub_count: 1200,
+            ixp_count: 10,
+            collector_peers: 60,
+            ..Self::default()
+        }
+    }
+
+    /// Total number of ASes this config generates.
+    pub fn as_count(&self) -> usize {
+        self.clique_size + self.transit_count + self.access_count + self.re_count + self.stub_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let c = GeneratorConfig::tiny(1);
+        assert_eq!(c.as_count(), 3 + 5 + 8 + 2 + 30);
+        assert!(GeneratorConfig::default().as_count() > 200);
+        assert!(GeneratorConfig::itdk_scale(0).as_count() > 1000);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = GeneratorConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: GeneratorConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seed, c.seed);
+        assert_eq!(back.as_count(), c.as_count());
+    }
+}

@@ -1,0 +1,95 @@
+//! JSON-lines persistence for traces.
+//!
+//! One JSON object per line, the shape CAIDA's converted traceroute archives
+//! use. Large campaigns stream through [`write_jsonl`] / [`read_jsonl`]
+//! without holding more than one record in memory.
+
+use crate::Trace;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Serializes traces as JSON lines.
+pub fn write_jsonl<W: Write>(mut w: W, traces: &[Trace]) -> std::io::Result<()> {
+    for t in traces {
+        let line = serde_json::to_string(t).map_err(std::io::Error::other)?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads traces from JSON lines, skipping blank lines.
+pub fn read_jsonl<R: Read>(r: R) -> std::io::Result<Vec<Trace>> {
+    let reader = BufReader::new(r);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let t: Trace = serde_json::from_str(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", i + 1),
+            )
+        })?;
+        out.push(t);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hop, ReplyType, StopReason};
+
+    fn traces() -> Vec<Trace> {
+        vec![
+            Trace {
+                monitor: "vp-a".into(),
+                src: 0x0a000001,
+                dst: 0x0b000001,
+                hops: vec![
+                    Some(Hop {
+                        addr: 0x0a000002,
+                        reply: ReplyType::TimeExceeded,
+                    }),
+                    None,
+                    Some(Hop {
+                        addr: 0x0b000001,
+                        reply: ReplyType::EchoReply,
+                    }),
+                ],
+                stop: StopReason::Completed,
+            },
+            Trace {
+                monitor: "vp-b".into(),
+                src: 0x0a000001,
+                dst: 0x0c000001,
+                hops: vec![None],
+                stop: StopReason::GapLimit,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &traces()).unwrap();
+        let back = read_jsonl(&buf[..]).unwrap();
+        assert_eq!(back, traces());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &traces()).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_jsonl(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn reports_bad_lines() {
+        let err = read_jsonl(&b"{not json}\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Map one network's borders from a vantage point inside it — the classic
+//! bdrmap use case (paper §7.1) — and compare bdrmapIT against the bdrmap
+//! baseline on the identical corpus.
+//!
+//! ```sh
+//! cargo run --release --example single_network
+//! ```
+
+use bdrmapit::eval::experiments::run_bdrmapit;
+use bdrmapit::eval::truth::{bdrmap_pairs, bdrmapit_pairs, true_pairs_of, visible_pairs, LinkScore};
+use bdrmapit::eval::Scenario;
+use bdrmapit::topo_gen::GeneratorConfig;
+
+fn main() {
+    let s = Scenario::build(GeneratorConfig {
+        seed: 7,
+        ..GeneratorConfig::default()
+    });
+    // Map the large access network from a single VP inside it.
+    let target = s.validation.large_access;
+    println!("mapping {target} from a single in-network vantage point\n");
+    let bundle = s.single_vp_campaign(target, 3);
+    println!("corpus: {} traces", bundle.traces.len());
+
+    let truth = true_pairs_of(&s.net, target);
+    let visible = visible_pairs(&s.net, &bundle.traces, target, true);
+    println!(
+        "ground truth: {} interdomain AS adjacencies, {} visible in the corpus\n",
+        truth.len(),
+        visible.len()
+    );
+
+    // bdrmapIT on the single-VP corpus.
+    let it = run_bdrmapit(&s, &bundle, bdrmapit::core::Config::default());
+    let it_pairs = bdrmapit_pairs(&it, Some(target), true);
+    let it_score = LinkScore::compute(&it_pairs, &truth, &visible);
+
+    // The bdrmap baseline on the same corpus.
+    let bm = bdrmapit::bdrmap::run(
+        &bundle.traces,
+        &bundle.aliases,
+        &s.ip2as,
+        &s.rels,
+        Some(target),
+    );
+    let bm_pairs = bdrmap_pairs(&bm);
+    let bm_score = LinkScore::compute(&bm_pairs, &truth, &visible);
+
+    println!("tool      accuracy  recall  inferred");
+    println!(
+        "bdrmapIT  {:.3}     {:.3}   {}",
+        it_score.precision(),
+        it_score.recall(),
+        it_score.inferred
+    );
+    println!(
+        "bdrmap    {:.3}     {:.3}   {}",
+        bm_score.precision(),
+        bm_score.recall(),
+        bm_score.inferred
+    );
+
+    println!("\nneighbors bdrmapIT found for {target}:");
+    for (a, b) in &it_pairs {
+        let other = if *a == target { *b } else { *a };
+        let rel = s
+            .net
+            .graph
+            .relationships
+            .relationship(target, other)
+            .map(|r| format!("{r:?}"))
+            .unwrap_or_else(|| "NOT A TRUE NEIGHBOR".to_string());
+        println!("  {other}  ({rel})");
+    }
+}

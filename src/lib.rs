@@ -1,0 +1,12 @@
+//! Facade crate re-exporting the bdrmapit-rs workspace public API.
+#![forbid(unsafe_code)]
+pub use alias;
+pub use as_rel;
+pub use bdrmap;
+pub use bdrmapit_core as core;
+pub use bgp;
+pub use eval;
+pub use mapit;
+pub use net_types;
+pub use topo_gen;
+pub use traceroute;
