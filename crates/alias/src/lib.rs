@@ -443,7 +443,10 @@ mod tests {
         let (net, traces) = corpus();
         let observed = observed_addresses(&traces);
         let sets = resolve_midar(&net, &observed, 0.9, 7);
-        assert!(!sets.is_empty(), "some routers must have multiple observed addrs");
+        assert!(
+            !sets.is_empty(),
+            "some routers must have multiple observed addrs"
+        );
         let (tp, total) = pair_accuracy(&sets, &net);
         assert_eq!(tp, total, "midar must never produce a false alias");
         // Only observed addresses appear.

@@ -88,9 +88,7 @@ impl CustomerCones {
     /// Among `candidates`, the one with the smallest cone, ties to lowest
     /// ASN (the paper's recurring "smallest customer cone" tie-break).
     pub fn smallest_cone<I: IntoIterator<Item = Asn>>(&self, candidates: I) -> Option<Asn> {
-        candidates
-            .into_iter()
-            .min_by_key(|&a| (self.size(a), a))
+        candidates.into_iter().min_by_key(|&a| (self.size(a), a))
     }
 
     /// Among `candidates`, the one with the largest cone, ties to lowest
@@ -126,7 +124,9 @@ mod tests {
         let cones = CustomerCones::compute(&fixture());
         assert_eq!(
             cones.cone(Asn(1)).unwrap(),
-            &[Asn(1), Asn(3), Asn(5)].into_iter().collect::<BTreeSet<_>>()
+            &[Asn(1), Asn(3), Asn(5)]
+                .into_iter()
+                .collect::<BTreeSet<_>>()
         );
         assert_eq!(cones.size(Asn(1)), 3);
         assert_eq!(cones.size(Asn(2)), 3);

@@ -181,10 +181,7 @@ impl AsRelationships {
 
     /// Every AS that appears in at least one relationship.
     pub fn ases(&self) -> BTreeSet<Asn> {
-        self.pairs
-            .keys()
-            .flat_map(|&(a, b)| [a, b])
-            .collect()
+        self.pairs.keys().flat_map(|&(a, b)| [a, b]).collect()
     }
 
     /// Iterates over `(a, b, relationship-of-a-toward-b)` with `a < b`.
@@ -208,8 +205,14 @@ mod tests {
     fn symmetric_views() {
         let mut r = AsRelationships::new();
         r.add_p2c(Asn(10), Asn(20));
-        assert_eq!(r.relationship(Asn(10), Asn(20)), Some(Relationship::Provider));
-        assert_eq!(r.relationship(Asn(20), Asn(10)), Some(Relationship::Customer));
+        assert_eq!(
+            r.relationship(Asn(10), Asn(20)),
+            Some(Relationship::Provider)
+        );
+        assert_eq!(
+            r.relationship(Asn(20), Asn(10)),
+            Some(Relationship::Customer)
+        );
         assert!(r.is_provider(Asn(10), Asn(20)));
         assert!(r.is_customer(Asn(20), Asn(10)));
         assert!(!r.is_peer(Asn(10), Asn(20)));

@@ -21,7 +21,11 @@ pub struct SerialParseError {
 
 impl fmt::Display for SerialParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serial-1 parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "serial-1 parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -31,7 +35,8 @@ impl AsRelationships {
     /// Serializes to serial-1 text, canonical pair order, transit edges as
     /// `provider|customer|-1`.
     pub fn to_serial1(&self) -> String {
-        let mut out = String::from("# AS relationships (serial-1): <provider|customer|-1> <peer|peer|0>\n");
+        let mut out =
+            String::from("# AS relationships (serial-1): <provider|customer|-1> <peer|peer|0>\n");
         for (a, b, rel) in self.iter() {
             match rel {
                 Relationship::Provider => out.push_str(&format!("{}|{}|-1\n", a.0, b.0)),

@@ -184,12 +184,8 @@ fn classify_boundary(
     cones: &CustomerCones,
     vp_as: Asn,
 ) -> Asn {
-    let foreign_origins: BTreeSet<Asn> = ir
-        .origins
-        .iter()
-        .copied()
-        .filter(|&o| o != vp_as)
-        .collect();
+    let foreign_origins: BTreeSet<Asn> =
+        ir.origins.iter().copied().filter(|&o| o != vp_as).collect();
     let subsequent: BTreeSet<Asn> = ir
         .links
         .iter()
@@ -247,9 +243,7 @@ fn classify_boundary(
     if let Some(a) = cones.smallest_cone(related) {
         return a;
     }
-    cones
-        .smallest_cone(votes.max_keys())
-        .unwrap_or(Asn::NONE)
+    cones.smallest_cone(votes.max_keys()).unwrap_or(Asn::NONE)
 }
 
 #[cfg(test)]
@@ -309,7 +303,13 @@ mod tests {
             a("10.2.0.9"),
             &[a("10.1.0.2"), a("10.1.0.3"), a("10.2.0.1")],
         )];
-        let res = run(&traces, &alias::AliasSets::empty(), &oracle(), &rels(), None);
+        let res = run(
+            &traces,
+            &alias::AliasSets::empty(),
+            &oracle(),
+            &rels(),
+            None,
+        );
         assert_eq!(res.vp_as, Asn(1));
         assert_eq!(res.owner.get(&a("10.1.0.2")), Some(&Asn(1)));
     }
@@ -323,7 +323,13 @@ mod tests {
             a("10.2.0.9"),
             &[a("10.1.0.2"), a("10.1.0.3"), a("10.2.0.1"), a("10.2.0.2")],
         )];
-        let res = run(&traces, &alias::AliasSets::empty(), &oracle(), &rels(), None);
+        let res = run(
+            &traces,
+            &alias::AliasSets::empty(),
+            &oracle(),
+            &rels(),
+            None,
+        );
         assert_eq!(res.owner.get(&a("10.1.0.3")), Some(&Asn(2)));
         assert!(res
             .links
@@ -336,11 +342,25 @@ mod tests {
         // Trace toward AS3 dies right after a VP-space router with no
         // successors: the dest heuristic names AS3.
         let traces = [
-            tr(a("10.1.0.1"), a("10.3.0.9"), &[a("10.1.0.2"), a("10.1.0.7")]),
+            tr(
+                a("10.1.0.1"),
+                a("10.3.0.9"),
+                &[a("10.1.0.2"), a("10.1.0.7")],
+            ),
             // Keep 10.1.0.2 internal via another trace.
-            tr(a("10.1.0.1"), a("10.2.0.9"), &[a("10.1.0.2"), a("10.1.0.3"), a("10.2.0.1")]),
+            tr(
+                a("10.1.0.1"),
+                a("10.2.0.9"),
+                &[a("10.1.0.2"), a("10.1.0.3"), a("10.2.0.1")],
+            ),
         ];
-        let res = run(&traces, &alias::AliasSets::empty(), &oracle(), &rels(), None);
+        let res = run(
+            &traces,
+            &alias::AliasSets::empty(),
+            &oracle(),
+            &rels(),
+            None,
+        );
         assert_eq!(res.owner.get(&a("10.1.0.7")), Some(&Asn(3)));
     }
 
@@ -351,7 +371,13 @@ mod tests {
             a("10.2.0.9"),
             &[a("10.1.0.2"), a("10.1.0.3"), a("10.2.0.1"), a("10.2.0.2")],
         )];
-        let res = run(&traces, &alias::AliasSets::empty(), &oracle(), &rels(), None);
+        let res = run(
+            &traces,
+            &alias::AliasSets::empty(),
+            &oracle(),
+            &rels(),
+            None,
+        );
         // 10.2.0.1's router: foreign origin AS2 related to VP → AS2.
         assert_eq!(res.owner.get(&a("10.2.0.1")), Some(&Asn(2)));
     }
@@ -372,7 +398,13 @@ mod tests {
                 a("10.3.0.1"),
             ],
         )];
-        let res = run(&traces, &alias::AliasSets::empty(), &oracle(), &rels(), None);
+        let res = run(
+            &traces,
+            &alias::AliasSets::empty(),
+            &oracle(),
+            &rels(),
+            None,
+        );
         assert!(
             !res.owner.contains_key(&a("10.3.0.1")),
             "bdrmap must not reach past the first boundary"

@@ -53,6 +53,44 @@ fn bench_phases(c: &mut Criterion) {
     g.finish();
 }
 
+/// Serial vs. parallel refinement on one prebuilt graph: the state after
+/// phase 2 is cloned into every timing iteration, so the numbers isolate
+/// `refine` itself. The 4-thread point is the acceptance gauge for the
+/// sharded engine (≥1.5× over serial on a 4-core runner); results are
+/// bit-identical across the sweep, so this measures pure scheduling.
+fn bench_refine_threads(c: &mut Criterion) {
+    let fx = bench::Fixture::standard();
+    let s = &fx.scenario;
+    let cones = CustomerCones::compute(&s.rels);
+    let base = Config::default();
+    let graph = IrGraph::build(
+        &fx.bundle.traces,
+        &fx.bundle.aliases,
+        &s.ip2as,
+        &base,
+        &s.rels,
+        &cones,
+    );
+    let mut annotated = AnnotationState::new(&graph);
+    bdrmapit_core::lasthop::annotate_last_hops(&graph, &s.rels, &cones, &mut annotated);
+
+    let mut g = c.benchmark_group("phase3_refine");
+    for threads in [1usize, 2, 4] {
+        let cfg = Config {
+            threads,
+            ..Config::default()
+        };
+        g.bench_with_input(BenchmarkId::new("threads", threads), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut state = annotated.clone();
+                bdrmapit_core::refine::refine(&graph, &s.rels, &cones, cfg, &mut state);
+                state
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_full_algorithm(c: &mut Criterion) {
     let mut g = c.benchmark_group("bdrmapit_end_to_end");
     g.sample_size(10);
@@ -112,6 +150,6 @@ fn bench_baselines(c: &mut Criterion) {
 criterion_group! {
     name = pipeline;
     config = Criterion::default().sample_size(20);
-    targets = bench_phases, bench_full_algorithm, bench_baselines
+    targets = bench_phases, bench_refine_threads, bench_full_algorithm, bench_baselines
 }
 criterion_main!(pipeline);

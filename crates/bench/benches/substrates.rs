@@ -78,10 +78,7 @@ fn bench_rel_inference(c: &mut Criterion) {
     let paths = rib.collapsed_paths();
     c.bench_function("as_relationship_inference", |b| {
         b.iter(|| {
-            as_rel::infer::infer_relationships(
-                &paths,
-                &as_rel::infer::InferenceConfig::default(),
-            )
+            as_rel::infer::infer_relationships(&paths, &as_rel::infer::InferenceConfig::default())
         })
     });
 }

@@ -115,7 +115,9 @@ mod tests {
         let d = dir();
         assert!(d.contains(net_types::parse_ipv4("198.32.1.5").unwrap()));
         assert!(!d.contains(net_types::parse_ipv4("198.33.0.1").unwrap()));
-        let ixp = d.lookup(net_types::parse_ipv4("206.80.0.9").unwrap()).unwrap();
+        let ixp = d
+            .lookup(net_types::parse_ipv4("206.80.0.9").unwrap())
+            .unwrap();
         assert_eq!(ixp.name, "IX-Two");
         assert_eq!(ixp.members, vec![Asn(30)]);
     }

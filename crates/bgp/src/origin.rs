@@ -72,7 +72,10 @@ impl IpToAs {
         let mut rir = PrefixTrie::new();
         for (prefix, &asn) in joined.iter() {
             // Covered by BGP at or above this prefix → stale risk → skip.
-            if bgp.longest_match(prefix.addr()).is_some_and(|(p, _)| p.covers(prefix)) {
+            if bgp
+                .longest_match(prefix.addr())
+                .is_some_and(|(p, _)| p.covers(prefix))
+            {
                 continue;
             }
             rir.insert(prefix, asn);

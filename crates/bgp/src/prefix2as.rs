@@ -39,7 +39,11 @@ pub struct Prefix2AsError {
 
 impl fmt::Display for Prefix2AsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "prefix2as parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "prefix2as parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -73,15 +77,9 @@ pub fn parse_prefix2as(text: &str) -> Result<Vec<Prefix2AsEntry>, Prefix2AsError
             message,
         };
         let mut fields = line.split_whitespace();
-        let net = fields
-            .next()
-            .ok_or_else(|| err("missing network".into()))?;
-        let len = fields
-            .next()
-            .ok_or_else(|| err("missing length".into()))?;
-        let asns = fields
-            .next()
-            .ok_or_else(|| err("missing origin".into()))?;
+        let net = fields.next().ok_or_else(|| err("missing network".into()))?;
+        let len = fields.next().ok_or_else(|| err("missing length".into()))?;
+        let asns = fields.next().ok_or_else(|| err("missing origin".into()))?;
         let addr = parse_ipv4(net).ok_or_else(|| err(format!("bad network {net:?}")))?;
         let len: u8 = len
             .parse()
@@ -91,7 +89,7 @@ pub fn parse_prefix2as(text: &str) -> Result<Vec<Prefix2AsEntry>, Prefix2AsError
         }
         let cleaned = asns.trim_start_matches('{').trim_end_matches('}');
         let mut origins = Vec::new();
-        for tok in cleaned.split(|c| c == '_' || c == ',') {
+        for tok in cleaned.split(['_', ',']) {
             let asn: u32 = tok
                 .parse()
                 .map_err(|_| err(format!("bad origin {tok:?}")))?;

@@ -206,7 +206,11 @@ pub fn cidr_cover(start: u32, count: u64) -> Vec<Prefix> {
     let end = start as u64 + count;
     while cur < end {
         // Largest power-of-two block that is both aligned at `cur` and fits.
-        let align = if cur == 0 { 1u64 << 32 } else { cur & cur.wrapping_neg() };
+        let align = if cur == 0 {
+            1u64 << 32
+        } else {
+            cur & cur.wrapping_neg()
+        };
         let mut block = align.min(end - cur);
         // Round block down to a power of two.
         block = 1u64 << (63 - block.leading_zeros());

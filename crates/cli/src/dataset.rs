@@ -126,7 +126,8 @@ pub fn write_bundle(
 }
 
 /// Runs bdrmapIT from a dataset bundle on disk; returns the report text.
-pub fn infer_from_bundle(dir: &Path) -> io::Result<String> {
+/// `threads` selects the refinement worker count ([`Config::threads`]).
+pub fn infer_from_bundle(dir: &Path, threads: usize) -> io::Result<String> {
     let invalid = |e: String| io::Error::new(io::ErrorKind::InvalidData, e);
 
     let traces = read_jsonl(fs::File::open(dir.join(files::TRACES))?)?;
@@ -159,13 +160,20 @@ pub fn infer_from_bundle(dir: &Path) -> io::Result<String> {
         .iter()
         .filter(|(p, _)| {
             // The staleness rule: only delegations not covered by BGP.
-            bgp_only.lookup(p.addr()).prefix.is_none_or(|bp| !bp.covers(*p))
+            bgp_only
+                .lookup(p.addr())
+                .prefix
+                .is_none_or(|bp| !bp.covers(*p))
         })
         .map(|(p, &a)| (p, a))
         .collect();
     ip2as = ip2as.with_rir(rir_pairs);
 
-    let result = Bdrmapit::new(Config::default()).run(&traces, &aliases, &ip2as, &rels);
+    let cfg = Config {
+        threads,
+        ..Config::default()
+    };
+    let result = Bdrmapit::new(cfg).run(&traces, &aliases, &ip2as, &rels);
 
     let mut ann = fs::File::create(dir.join(files::ANNOTATIONS))?;
     bdrmapit_core::output::write_annotations(&mut ann, &result)?;
@@ -187,8 +195,7 @@ pub fn infer_from_bundle(dir: &Path) -> io::Result<String> {
     if let Ok(text) = fs::read_to_string(dir.join(files::TRUTH)) {
         let truth: GroundTruth = serde_json::from_str(&text).map_err(io::Error::other)?;
         let truth_pairs: BTreeSet<(Asn, Asn)> = truth.pairs.iter().copied().collect();
-        let owner_of: std::collections::HashMap<u32, Asn> =
-            truth.owners.iter().copied().collect();
+        let owner_of: std::collections::HashMap<u32, Asn> = truth.owners.iter().copied().collect();
         let inferred: BTreeSet<(Asn, Asn)> = result
             .interdomain_links()
             .iter()
@@ -227,10 +234,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "bdrmapit-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("bdrmapit-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).expect("create temp dir");
         dir
@@ -252,7 +256,9 @@ mod tests {
         ] {
             assert!(dir.join(f).exists(), "{f} missing");
         }
-        let report = infer_from_bundle(&dir).unwrap();
+        // Exercise the parallel refinement path end to end: 2 workers here,
+        // serial in `infer_without_truth_still_runs` — same code, same answers.
+        let report = infer_from_bundle(&dir, 2).unwrap();
         assert!(report.contains("interdomain links"), "{report}");
         assert!(report.contains("link precision vs truth"), "{report}");
         assert!(dir.join(files::ANNOTATIONS).exists());
@@ -273,7 +279,7 @@ mod tests {
         let dir = tmpdir("no-truth");
         write_bundle(&dir, GeneratorConfig::tiny(405), 3, 405).unwrap();
         fs::remove_file(dir.join(files::TRUTH)).unwrap();
-        let report = infer_from_bundle(&dir).unwrap();
+        let report = infer_from_bundle(&dir, 1).unwrap();
         assert!(report.contains("interdomain links"));
         assert!(!report.contains("precision"));
         let _ = fs::remove_dir_all(&dir);
@@ -283,6 +289,6 @@ mod tests {
     fn infer_missing_bundle_errors() {
         let dir = tmpdir("missing");
         fs::remove_dir_all(&dir).unwrap();
-        assert!(infer_from_bundle(&dir).is_err());
+        assert!(infer_from_bundle(&dir, 1).is_err());
     }
 }

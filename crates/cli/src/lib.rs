@@ -49,6 +49,8 @@ pub struct Cli {
     pub scale: Scale,
     /// Number of VPs for Internet-wide experiments.
     pub vps: usize,
+    /// Refinement worker threads (0 = all available parallelism).
+    pub threads: usize,
 }
 
 /// Supported subcommands.
@@ -101,7 +103,7 @@ pub const USAGE: &str = "\
 bdrmapit — reproduce 'Pushing the Boundaries with bdrmapIT' (IMC 2018)
 
 USAGE:
-    bdrmapit <COMMAND> [--seed N] [--scale tiny|default|itdk] [--vps N]
+    bdrmapit <COMMAND> [--seed N] [--scale tiny|default|itdk] [--vps N] [--threads N]
 
 COMMANDS:
     probe --out DIR    write a synthetic dataset bundle (traces.jsonl, nodes.txt,
@@ -122,6 +124,8 @@ OPTIONS:
     --seed N     topology seed            [default: 2018]
     --scale S    tiny | default | itdk    [default: default]
     --vps N      vantage points           [default: scale-dependent]
+    --threads N  refinement worker threads; 0 = all cores, 1 = serial.
+                 Results are identical for every value.   [default: 0]
 ";
 
 /// Parses a command line (excluding `argv[0]`).
@@ -130,6 +134,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     let mut seed = 2018u64;
     let mut scale = Scale::Default;
     let mut vps: Option<usize> = None;
+    let mut threads = 0usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -137,23 +142,31 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 if command.is_some() {
                     return Err(ParseError("duplicate command".into()));
                 }
-                command = Some(Command::Probe { out: PathBuf::new() });
+                command = Some(Command::Probe {
+                    out: PathBuf::new(),
+                });
             }
             "infer" => {
                 if command.is_some() {
                     return Err(ParseError("duplicate command".into()));
                 }
-                command = Some(Command::Infer { input: PathBuf::new() });
+                command = Some(Command::Infer {
+                    input: PathBuf::new(),
+                });
             }
             "--out" => {
-                let v = it.next().ok_or_else(|| ParseError("--out needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--out needs a value".into()))?;
                 match &mut command {
                     Some(Command::Probe { out }) => *out = PathBuf::from(v),
                     _ => return Err(ParseError("--out only applies to probe".into())),
                 }
             }
             "--in" => {
-                let v = it.next().ok_or_else(|| ParseError("--in needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--in needs a value".into()))?;
                 match &mut command {
                     Some(Command::Infer { input }) => *input = PathBuf::from(v),
                     _ => return Err(ParseError("--in only applies to infer".into())),
@@ -178,13 +191,17 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 command = Some(cmd);
             }
             "--seed" => {
-                let v = it.next().ok_or_else(|| ParseError("--seed needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--seed needs a value".into()))?;
                 seed = v
                     .parse()
                     .map_err(|_| ParseError(format!("bad seed {v:?}")))?;
             }
             "--scale" => {
-                let v = it.next().ok_or_else(|| ParseError("--scale needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--scale needs a value".into()))?;
                 scale = match v.as_str() {
                     "tiny" => Scale::Tiny,
                     "default" => Scale::Default,
@@ -193,11 +210,21 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 };
             }
             "--vps" => {
-                let v = it.next().ok_or_else(|| ParseError("--vps needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--vps needs a value".into()))?;
                 vps = Some(
                     v.parse()
                         .map_err(|_| ParseError(format!("bad vp count {v:?}")))?,
                 );
+            }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--threads needs a value".into()))?;
+                threads = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad thread count {v:?}")))?;
             }
             other => return Err(ParseError(format!("unknown argument {other:?}"))),
         }
@@ -222,6 +249,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         seed,
         scale,
         vps: vps.unwrap_or(default_vps),
+        threads,
     })
 }
 
@@ -237,7 +265,7 @@ pub fn run(cli: &Cli) -> String {
                 .unwrap_or_else(|e| format!("error: {e}\n"));
         }
         Command::Infer { input } => {
-            return dataset::infer_from_bundle(input)
+            return dataset::infer_from_bundle(input, cli.threads)
                 .unwrap_or_else(|e| format!("error: {e}\n"));
         }
         _ => {}
@@ -303,7 +331,11 @@ pub fn run(cli: &Cli) -> String {
             let _ = writeln!(out, "{}", aliases::fig20(&s, cli.vps, cli.seed).render());
         }
         Command::Ablation => {
-            let _ = writeln!(out, "{}", heuristics::ablation(&s, cli.vps, cli.seed).render());
+            let _ = writeln!(
+                out,
+                "{}",
+                heuristics::ablation(&s, cli.vps, cli.seed).render()
+            );
         }
         Command::All => {
             let bundle = s.campaign(cli.vps, true, cli.seed);
@@ -322,7 +354,11 @@ pub fn run(cli: &Cli) -> String {
             let groups = groups_for(cli.vps);
             let _ = writeln!(out, "{}", vps::sweep(&s, &groups, 5, cli.seed).render());
             let _ = writeln!(out, "{}", aliases::fig20(&s, cli.vps, cli.seed).render());
-            let _ = writeln!(out, "{}", heuristics::ablation(&s, cli.vps, cli.seed).render());
+            let _ = writeln!(
+                out,
+                "{}",
+                heuristics::ablation(&s, cli.vps, cli.seed).render()
+            );
         }
         Command::Help | Command::Probe { .. } | Command::Infer { .. } => {
             unreachable!("handled above")
@@ -353,15 +389,28 @@ mod tests {
         assert_eq!(cli.seed, 2018);
         assert_eq!(cli.scale, Scale::Default);
         assert_eq!(cli.vps, 20);
+        assert_eq!(cli.threads, 0, "--threads defaults to auto");
     }
 
     #[test]
     fn parse_options() {
-        let cli = parse(&args(&["fig18", "--seed", "7", "--scale", "tiny", "--vps", "5"])).unwrap();
+        let cli = parse(&args(&[
+            "fig18",
+            "--seed",
+            "7",
+            "--scale",
+            "tiny",
+            "--vps",
+            "5",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
         assert_eq!(cli.command, Command::Fig18);
         assert_eq!(cli.seed, 7);
         assert_eq!(cli.scale, Scale::Tiny);
         assert_eq!(cli.vps, 5);
+        assert_eq!(cli.threads, 4);
     }
 
     #[test]
@@ -378,6 +427,8 @@ mod tests {
         assert!(parse(&args(&["fig15", "--seed", "x"])).is_err());
         assert!(parse(&args(&["fig15", "--scale", "huge"])).is_err());
         assert!(parse(&args(&["fig15", "fig16"])).is_err());
+        assert!(parse(&args(&["fig15", "--threads"])).is_err());
+        assert!(parse(&args(&["fig15", "--threads", "many"])).is_err());
     }
 
     #[test]

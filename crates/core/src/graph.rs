@@ -7,6 +7,7 @@
 //! destination ASes the third-party test needs (§6.1.1). Per-IR destination
 //! AS sets apply the reallocated-prefix filter of §4.4.
 
+use crate::refine::shard::ShardPlan;
 use crate::Config;
 use alias::AliasSets;
 use as_rel::{AsRelationships, CustomerCones};
@@ -87,6 +88,9 @@ pub struct IrGraph {
     pub preds: Vec<BTreeMap<IrId, BTreeSet<IfIdx>>>,
     /// Address → interface index.
     pub addr_index: HashMap<u32, IfIdx>,
+    /// Annotation-dependency shards (link-connected components) with their
+    /// wavefront levels, precomputed for the refinement engine.
+    pub shards: ShardPlan,
 }
 
 impl IrGraph {
@@ -155,8 +159,9 @@ impl IrGraph {
 
         // ---- walk traces: links, origin sets, destination sets ----
         // Accumulate links in a map first, then freeze into sorted vectors.
-        let mut link_acc: BTreeMap<(IrId, IfIdx), (LinkLabel, BTreeSet<Asn>, BTreeSet<Asn>)> =
-            BTreeMap::new();
+        // Accumulator value: (label, origin-AS set, destination-AS set).
+        type LinkAcc = (LinkLabel, BTreeSet<Asn>, BTreeSet<Asn>);
+        let mut link_acc: BTreeMap<(IrId, IfIdx), LinkAcc> = BTreeMap::new();
         for t in traces {
             let hops: Vec<(u8, traceroute::Hop)> = t.responsive().collect();
             if hops.is_empty() {
@@ -206,10 +211,7 @@ impl IrGraph {
                     entry.2.insert(dest_as);
                 }
                 // Predecessor record for §6.2 interface voting.
-                g.preds[yi.0 as usize]
-                    .entry(ir_x)
-                    .or_default()
-                    .insert(xi);
+                g.preds[yi.0 as usize].entry(ir_x).or_default().insert(xi);
             }
         }
         for ((ir, dst), (label, origins, dests)) in link_acc {
@@ -241,6 +243,9 @@ impl IrGraph {
             }
             g.irs[ir_idx].dests = dests;
         }
+
+        // ---- refinement shard plan (link-connected components, §6.3) ----
+        g.shards = ShardPlan::compute(&g.irs, &g.iface_ir);
 
         g
     }
@@ -389,11 +394,16 @@ mod tests {
     #[test]
     fn alias_groups_become_irs() {
         let traces = [
-            tr(a("10.3.0.99"), &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.1"), TE)]),
-            tr(a("10.3.0.98"), &[(1, a("10.1.0.2"), TE), (2, a("10.2.0.1"), TE)]),
+            tr(
+                a("10.3.0.99"),
+                &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.1"), TE)],
+            ),
+            tr(
+                a("10.3.0.98"),
+                &[(1, a("10.1.0.2"), TE), (2, a("10.2.0.1"), TE)],
+            ),
         ];
-        let aliases =
-            AliasSets::from_groups([BTreeSet::from([a("10.1.0.1"), a("10.1.0.2")])]);
+        let aliases = AliasSets::from_groups([BTreeSet::from([a("10.1.0.1"), a("10.1.0.2")])]);
         let g = build(&traces, &aliases);
         assert_eq!(g.irs.len(), 2); // aliased pair + the 10.2 singleton
         let ir = g.ir_of_addr(a("10.1.0.1")).unwrap();
@@ -450,9 +460,15 @@ mod tests {
     fn best_label_wins_on_merge() {
         let traces = [
             // Multihop observation...
-            tr(a("10.3.0.99"), &[(1, a("10.1.0.1"), TE), (3, a("10.2.0.1"), TE)]),
+            tr(
+                a("10.3.0.99"),
+                &[(1, a("10.1.0.1"), TE), (3, a("10.2.0.1"), TE)],
+            ),
             // ...then a Nexthop observation of the same link.
-            tr(a("10.3.0.98"), &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.1"), TE)]),
+            tr(
+                a("10.3.0.98"),
+                &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.1"), TE)],
+            ),
         ];
         let g = build(&traces, &AliasSets::empty());
         let dist = g.label_distribution();
@@ -464,13 +480,16 @@ mod tests {
     #[test]
     fn origin_sets_accumulate_per_link() {
         // Fig. 5 of the paper: two different prior interfaces on one IR.
-        let aliases = AliasSets::from_groups([BTreeSet::from([
-            a("10.1.0.1"),
-            a("10.3.0.1"),
-        ])]);
+        let aliases = AliasSets::from_groups([BTreeSet::from([a("10.1.0.1"), a("10.3.0.1")])]);
         let traces = [
-            tr(a("10.2.0.99"), &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.5"), TE)]),
-            tr(a("10.2.0.99"), &[(1, a("10.3.0.1"), TE), (2, a("10.2.0.5"), TE)]),
+            tr(
+                a("10.2.0.99"),
+                &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.5"), TE)],
+            ),
+            tr(
+                a("10.2.0.99"),
+                &[(1, a("10.3.0.1"), TE), (2, a("10.2.0.5"), TE)],
+            ),
         ];
         let g = build(&traces, &aliases);
         let ir = &g.irs[g.ir_of_addr(a("10.1.0.1")).unwrap().0 as usize];
@@ -513,11 +532,16 @@ mod tests {
     #[test]
     fn preds_track_prior_interfaces() {
         let traces = [
-            tr(a("10.3.0.99"), &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.5"), TE)]),
-            tr(a("10.3.0.98"), &[(1, a("10.1.0.2"), TE), (2, a("10.2.0.5"), TE)]),
+            tr(
+                a("10.3.0.99"),
+                &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.5"), TE)],
+            ),
+            tr(
+                a("10.3.0.98"),
+                &[(1, a("10.1.0.2"), TE), (2, a("10.2.0.5"), TE)],
+            ),
         ];
-        let aliases =
-            AliasSets::from_groups([BTreeSet::from([a("10.1.0.1"), a("10.1.0.2")])]);
+        let aliases = AliasSets::from_groups([BTreeSet::from([a("10.1.0.1"), a("10.1.0.2")])]);
         let g = build(&traces, &aliases);
         let yi = g.iface_of_addr(a("10.2.0.5")).unwrap();
         let ir = g.ir_of_addr(a("10.1.0.1")).unwrap();

@@ -74,10 +74,7 @@ fn annotate_empty_dest(
         }
     }
     if let Some(cands) = candidates {
-        let outside: Vec<Asn> = cands
-            .into_iter()
-            .filter(|a| !origins.contains(a))
-            .collect();
+        let outside: Vec<Asn> = cands.into_iter().filter(|a| !origins.contains(a)).collect();
         if !outside.is_empty() {
             return cones.smallest_cone(outside);
         }
@@ -137,10 +134,8 @@ fn annotate_with_dests(ir: &Ir, rels: &AsRelationships, cones: &CustomerCones) -
     let a = cones.smallest_cone(dests.iter().copied())?;
     // A bridging AS: provider of `a`(the smallest-cone destination) and
     // customer of an origin AS.
-    let customers_of_origins: BTreeSet<Asn> = origins
-        .iter()
-        .flat_map(|&o| rels.customers_of(o))
-        .collect();
+    let customers_of_origins: BTreeSet<Asn> =
+        origins.iter().flat_map(|&o| rels.customers_of(o)).collect();
     let bridges: Vec<Asn> = rels
         .providers_of(a)
         .filter(|p| customers_of_origins.contains(p))
@@ -179,7 +174,10 @@ mod tests {
     fn empty_dest_single_origin() {
         let r = rels();
         let cones = CustomerCones::compute(&r);
-        assert_eq!(annotate_empty_dest(&ir(&[7], &[]), &IrGraph::default(), &r, &cones), Some(Asn(7)));
+        assert_eq!(
+            annotate_empty_dest(&ir(&[7], &[]), &IrGraph::default(), &r, &cones),
+            Some(Asn(7))
+        );
     }
 
     #[test]
@@ -220,7 +218,10 @@ mod tests {
     fn empty_both_sets() {
         let r = rels();
         let cones = CustomerCones::compute(&r);
-        assert_eq!(annotate_empty_dest(&ir(&[], &[]), &IrGraph::default(), &r, &cones), None);
+        assert_eq!(
+            annotate_empty_dest(&ir(&[], &[]), &IrGraph::default(), &r, &cones),
+            None
+        );
     }
 
     #[test]

@@ -74,6 +74,10 @@ pub struct Config {
     /// Safety cap on refinement iterations (the paper iterates to a
     /// repeated state; this bounds pathological inputs).
     pub max_iterations: usize,
+    /// Worker threads for the phase-3 refinement engine. `0` (the default)
+    /// means all available parallelism; `1` forces the serial path. Results
+    /// are bit-identical for every value (see `refine::parallel`).
+    pub threads: usize,
 }
 
 impl Default for Config {
@@ -87,6 +91,7 @@ impl Default for Config {
             enable_ixp_heuristic: true,
             realloc_cone_max: 5,
             max_iterations: 100,
+            threads: 0,
         }
     }
 }

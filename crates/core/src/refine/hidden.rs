@@ -73,7 +73,10 @@ mod tests {
     fn keeps_selection_with_relationship() {
         let mut rels = AsRelationships::new();
         rels.add_p2c(Asn(1), Asn(3));
-        assert_eq!(check_hidden_as(&ir(&[1]), Asn(3), &set(&[1]), &rels), Asn(3));
+        assert_eq!(
+            check_hidden_as(&ir(&[1]), Asn(3), &set(&[1]), &rels),
+            Asn(3)
+        );
     }
 
     #[test]
@@ -83,7 +86,10 @@ mod tests {
         let mut rels = AsRelationships::new();
         rels.add_p2c(Asn(1), Asn(2));
         rels.add_p2c(Asn(2), Asn(3));
-        assert_eq!(check_hidden_as(&ir(&[1]), Asn(3), &set(&[1]), &rels), Asn(2));
+        assert_eq!(
+            check_hidden_as(&ir(&[1]), Asn(3), &set(&[1]), &rels),
+            Asn(2)
+        );
     }
 
     #[test]
@@ -93,13 +99,19 @@ mod tests {
             rels.add_p2c(Asn(1), Asn(b));
             rels.add_p2c(Asn(b), Asn(3));
         }
-        assert_eq!(check_hidden_as(&ir(&[1]), Asn(3), &set(&[1]), &rels), Asn(3));
+        assert_eq!(
+            check_hidden_as(&ir(&[1]), Asn(3), &set(&[1]), &rels),
+            Asn(3)
+        );
     }
 
     #[test]
     fn no_bridge_keeps_selection() {
         let rels = AsRelationships::new();
-        assert_eq!(check_hidden_as(&ir(&[1]), Asn(3), &set(&[1]), &rels), Asn(3));
+        assert_eq!(
+            check_hidden_as(&ir(&[1]), Asn(3), &set(&[1]), &rels),
+            Asn(3)
+        );
     }
 
     #[test]

@@ -8,72 +8,66 @@
 //! toward the largest customer cone holding a BGP relationship with the
 //! interface origin (Figs. 13b, 13c).
 
-use crate::graph::IrGraph;
-use crate::AnnotationState;
-use as_rel::{AsRelationships, CustomerCones};
+use crate::refine::parallel::{RouterView, SweepCells, SweepCtx};
 use bgp::OriginKind;
 use net_types::{Asn, Counter};
 
-/// Re-annotates every interface from the current router annotations.
-pub fn annotate_interfaces(
-    graph: &IrGraph,
-    state: &mut AnnotationState,
-    rels: &AsRelationships,
-    cones: &CustomerCones,
-) {
-    for idx in 0..graph.iface_addrs.len() {
-        let origin = graph.iface_origin[idx];
-        // IXP LAN addresses connect many routers; the point-to-point
-        // assumption doesn't hold, so they are left alone (§6.2).
-        if origin.kind == OriginKind::Ixp {
-            continue;
-        }
-        let ir = graph.iface_ir[idx];
-        let r_ann = state.router[ir.0 as usize];
-        if r_ann.is_none() {
-            continue;
-        }
-        if origin.asn.is_some() && origin.asn != r_ann {
-            // Fig. 13a: the address must come from the connected AS.
-            state.iface[idx] = origin.asn;
-            continue;
-        }
-        // Fig. 13b/13c: vote among connected IRs, one vote per interface of
-        // theirs seen immediately prior to this one.
-        let mut v: Counter<Asn> = Counter::new();
-        for (pred_ir, prior_ifaces) in &graph.preds[idx] {
-            let ann = state.router[pred_ir.0 as usize];
-            if ann.is_some() {
-                v.add_n(ann, prior_ifaces.len() as u64);
-            }
-        }
-        if v.is_empty() {
-            if origin.asn.is_some() {
-                state.iface[idx] = origin.asn;
-            }
-            continue;
-        }
-        let tied = v.max_keys();
-        let winner = if tied.len() == 1 {
-            tied[0]
-        } else {
-            // Tie: largest cone among tied ASes with a BGP-observed
-            // relationship to the interface origin; none → origin AS.
-            let related: Vec<Asn> = tied
-                .iter()
-                .copied()
-                .filter(|&w| {
-                    origin.asn.is_some()
-                        && (w == origin.asn || rels.has_relationship(w, origin.asn))
-                })
-                .collect();
-            match cones.largest_cone(related) {
-                Some(w) => w,
-                None => origin.asn,
-            }
-        };
-        if winner.is_some() {
-            state.iface[idx] = winner;
+/// Computes the new annotation of one interface from the committed router
+/// annotations, or `None` to keep the current value. Reads no interface
+/// annotation (only router state), so a whole sweep can run in any order —
+/// or concurrently — and commit as it goes.
+pub(crate) fn annotate_iface_one(
+    idx: usize,
+    cells: &SweepCells,
+    ctx: &mut SweepCtx<'_>,
+) -> Option<Asn> {
+    let graph = ctx.graph;
+    let origin = graph.iface_origin[idx];
+    // IXP LAN addresses connect many routers; the point-to-point
+    // assumption doesn't hold, so they are left alone (§6.2).
+    if origin.kind == OriginKind::Ixp {
+        return None;
+    }
+    let view = RouterView::committed(cells);
+    let ir = graph.iface_ir[idx];
+    let r_ann = view.router(ir);
+    if r_ann.is_none() {
+        return None;
+    }
+    if origin.asn.is_some() && origin.asn != r_ann {
+        // Fig. 13a: the address must come from the connected AS.
+        return Some(origin.asn);
+    }
+    // Fig. 13b/13c: vote among connected IRs, one vote per interface of
+    // theirs seen immediately prior to this one.
+    let mut v: Counter<Asn> = Counter::new();
+    for (pred_ir, prior_ifaces) in &graph.preds[idx] {
+        let ann = view.router(*pred_ir);
+        if ann.is_some() {
+            v.add_n(ann, prior_ifaces.len() as u64);
         }
     }
+    if v.is_empty() {
+        return origin.asn.is_some().then_some(origin.asn);
+    }
+    let tied = v.max_keys();
+    let winner = if tied.len() == 1 {
+        tied[0]
+    } else {
+        // Tie: largest cone among tied ASes with a BGP-observed
+        // relationship to the interface origin; none → origin AS.
+        let related: Vec<Asn> = tied
+            .iter()
+            .copied()
+            .filter(|&w| {
+                origin.asn.is_some()
+                    && (w == origin.asn || ctx.cache.has_relationship(w, origin.asn))
+            })
+            .collect();
+        match ctx.cache.largest_cone(related) {
+            Some(w) => w,
+            None => origin.asn,
+        }
+    };
+    winner.is_some().then_some(winner)
 }

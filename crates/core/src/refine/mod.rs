@@ -3,15 +3,20 @@
 //! Each iteration annotates every mid-path IR with its operating AS
 //! ([`router`], Algorithm 2), then re-annotates every interface with the AS
 //! it connects to ([`interface`], §6.2). Annotations propagate across the
-//! graph between iterations; the loop stops when the global state repeats
-//! ([`engine`], §6.3).
+//! graph between iterations; each link-connected [`shard`] of the graph
+//! stops when its state repeats ([`engine`], §6.3). The sweeps run serially
+//! or on a thread pool ([`parallel`]) per [`Config::threads`](crate::Config)
+//! with bit-identical results.
 
 pub mod engine;
 pub mod exceptions;
 pub mod hidden;
 pub mod interface;
+pub mod parallel;
 pub mod realloc;
 pub mod router;
+pub mod shard;
 pub mod votes;
 
-pub use engine::refine;
+pub use engine::{refine, CONVERGENCE_HASH_SEED};
+pub use shard::{Shard, ShardPlan};

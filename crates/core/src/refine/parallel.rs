@@ -1,0 +1,383 @@
+//! Parallel execution of the refinement loop, bit-identical to serial.
+//!
+//! Two tiers of parallelism, both derived from the dependency analysis in
+//! [`shard`](crate::refine::shard):
+//!
+//! 1. **Across shards.** Weakly connected components share no annotation
+//!    state, so whole shards converge independently. Small shards are dealt
+//!    round-robin to workers, each running the ordinary single-threaded
+//!    per-shard loop.
+//! 2. **Within a shard.** Large shards are processed by *all* workers in
+//!    lockstep, one wavefront level at a time. The serial sweep's
+//!    Gauss-Seidel semantics — a read of a lower-indexed mid-path IR sees
+//!    this sweep's value, a read of a higher-indexed one sees the pre-sweep
+//!    value — are reproduced exactly with a versioned view: current values
+//!    for lower indices (their level has already completed), a pre-sweep
+//!    snapshot for higher ones. Within one level no IR reads another's
+//!    output, so commits are immediate and order-free.
+//!
+//! Both tiers run the **same** `converge_shard` routine the serial engine
+//! uses; parallelism changes only who executes which slice, never what any
+//! slice computes. That is the whole equivalence argument: results are
+//! identical for every thread count by construction, and the determinism
+//! suite (`tests/determinism.rs`) checks it end to end.
+//!
+//! Annotation values live in `AtomicU32` cells so workers can share them
+//! without locks; all data accesses are `Relaxed` (disjoint by the level
+//! discipline) with a spin barrier providing the ordering between levels.
+
+use crate::graph::{IfIdx, IrGraph, IrId};
+use crate::refine::engine::{ShardHasher, CONVERGENCE_HASH_SEED};
+use crate::refine::shard::{Shard, ShardPlan};
+use crate::refine::{interface, router};
+use crate::{AnnotationState, Config};
+use as_rel::{AsRelationships, CustomerCones, RelQueryCache};
+use net_types::Asn;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// Mid-path population below which a shard is not worth lockstep scheduling
+/// and is instead handed to a single worker.
+pub(crate) const LOCKSTEP_MIN_MID_PATH: usize = 16;
+
+/// Shared annotation cells for one refinement run.
+///
+/// `prev` holds, for every IR, its annotation as of the start of the current
+/// router sweep (non-mid-path IRs never change, so they are written once at
+/// construction).
+pub(crate) struct SweepCells {
+    pub router: Vec<AtomicU32>,
+    pub prev: Vec<AtomicU32>,
+    pub iface: Vec<AtomicU32>,
+    pub frozen: Vec<bool>,
+}
+
+impl SweepCells {
+    pub fn new(state: &AnnotationState) -> SweepCells {
+        SweepCells {
+            router: state.router.iter().map(|a| AtomicU32::new(a.0)).collect(),
+            prev: state.router.iter().map(|a| AtomicU32::new(a.0)).collect(),
+            iface: state.iface.iter().map(|a| AtomicU32::new(a.0)).collect(),
+            frozen: state.frozen.clone(),
+        }
+    }
+
+    /// Copies the final annotations back into the plain state vectors.
+    pub fn write_back(&self, state: &mut AnnotationState) {
+        for (dst, cell) in state.router.iter_mut().zip(&self.router) {
+            *dst = Asn(cell.load(Ordering::Relaxed));
+        }
+        for (dst, cell) in state.iface.iter_mut().zip(&self.iface) {
+            *dst = Asn(cell.load(Ordering::Relaxed));
+        }
+    }
+}
+
+/// Read-only context threaded through the annotation routines. Each worker
+/// owns one, so the memoized relationship/cone cache is contention-free.
+pub(crate) struct SweepCtx<'a> {
+    pub graph: &'a IrGraph,
+    pub cfg: &'a Config,
+    pub cache: RelQueryCache<'a>,
+}
+
+impl<'a> SweepCtx<'a> {
+    pub fn new(
+        graph: &'a IrGraph,
+        cfg: &'a Config,
+        rels: &'a AsRelationships,
+        cones: &'a CustomerCones,
+    ) -> Self {
+        SweepCtx {
+            graph,
+            cfg,
+            cache: RelQueryCache::new(rels, cones),
+        }
+    }
+}
+
+/// Versioned view of the annotation state as seen while annotating IR `me`
+/// during a router sweep: lower-indexed IRs expose this sweep's value,
+/// higher-indexed ones the pre-sweep snapshot — exactly what the serial
+/// in-place sweep observes at `me`'s turn.
+pub(crate) struct RouterView<'a> {
+    cells: &'a SweepCells,
+    me: u32,
+}
+
+impl<'a> RouterView<'a> {
+    pub fn at(cells: &'a SweepCells, me: u32) -> Self {
+        RouterView { cells, me }
+    }
+
+    /// A view of the fully committed state (used between sweeps, e.g. by
+    /// the interface sweep, which runs after the router sweep completes).
+    pub fn committed(cells: &'a SweepCells) -> Self {
+        RouterView {
+            cells,
+            me: u32::MAX,
+        }
+    }
+
+    /// The router annotation of `jr` as the serial sweep would see it.
+    pub fn router(&self, jr: IrId) -> Asn {
+        let cell = if jr.0 < self.me {
+            &self.cells.router[jr.0 as usize]
+        } else {
+            &self.cells.prev[jr.0 as usize]
+        };
+        Asn(cell.load(Ordering::Relaxed))
+    }
+
+    /// The interface annotation of `j` (never written during a router
+    /// sweep, so unversioned).
+    pub fn iface(&self, j: IfIdx) -> Asn {
+        Asn(self.cells.iface[j.0 as usize].load(Ordering::Relaxed))
+    }
+}
+
+/// `worker`'s contiguous slice of a level/list when `workers` cooperate.
+fn chunk(items: &[u32], worker: usize, workers: usize) -> &[u32] {
+    let n = items.len();
+    &items[n * worker / workers..n * (worker + 1) / workers]
+}
+
+/// Stable hash of one shard's annotation state (routers then interfaces,
+/// ascending index order).
+pub(crate) fn shard_hash(shard: &Shard, cells: &SweepCells) -> u64 {
+    let mut h = ShardHasher::new(CONVERGENCE_HASH_SEED);
+    for &ir in &shard.irs {
+        h.write_u32(cells.router[ir as usize].load(Ordering::Relaxed));
+    }
+    for &j in &shard.ifaces {
+        h.write_u32(cells.iface[j as usize].load(Ordering::Relaxed));
+    }
+    h.finish()
+}
+
+#[inline]
+fn sync(barrier: Option<&SpinBarrier>) {
+    if let Some(b) = barrier {
+        b.wait();
+    }
+}
+
+/// Runs one shard to convergence (§6.3 applied shard-locally): sweep
+/// routers level by level, sweep interfaces, and stop at the first repeated
+/// shard state, with `max_iterations` as the backstop.
+///
+/// This single routine *is* the refinement algorithm for every execution
+/// mode. Called with `workers == 1` and no barrier it is the serial engine;
+/// called by `workers` threads in lockstep (same shard, same barrier, each
+/// with a distinct `worker` index) the per-level chunks partition each
+/// wavefront and every participant returns the same iteration count. All
+/// workers hash the whole shard redundantly, so their stop decisions agree
+/// without communicating.
+pub(crate) fn converge_shard(
+    shard: &Shard,
+    cells: &SweepCells,
+    ctx: &mut SweepCtx<'_>,
+    max_iterations: usize,
+    worker: usize,
+    workers: usize,
+    barrier: Option<&SpinBarrier>,
+) -> usize {
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(shard_hash(shard, cells));
+    let mut iterations = 0;
+    for i in 0..max_iterations {
+        // Snapshot this shard's mid-path annotations (only those can have
+        // changed) so higher-index reads see pre-sweep values.
+        for &ir in chunk(&shard.mid_path, worker, workers) {
+            cells.prev[ir as usize].store(
+                cells.router[ir as usize].load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+        }
+        sync(barrier);
+        // Router sweep (§6.1), one wavefront level at a time.
+        for level in &shard.levels {
+            for &iri in chunk(level, worker, workers) {
+                if cells.frozen[iri as usize] {
+                    continue;
+                }
+                let ir = &ctx.graph.irs[iri as usize];
+                let view = RouterView::at(cells, iri);
+                let a = router::annotate_ir(ir, &view, ctx);
+                if a.is_some() {
+                    cells.router[iri as usize].store(a.0, Ordering::Relaxed);
+                }
+            }
+            sync(barrier);
+        }
+        // Interface sweep (§6.2): reads only committed router annotations,
+        // writes only its own cell, so one barrier at the end suffices.
+        for &j in chunk(&shard.ifaces, worker, workers) {
+            if let Some(a) = interface::annotate_iface_one(j as usize, cells, ctx) {
+                cells.iface[j as usize].store(a.0, Ordering::Relaxed);
+            }
+        }
+        sync(barrier);
+        let h = shard_hash(shard, cells);
+        iterations = i + 1;
+        let repeated = !seen.insert(h);
+        // Everyone must finish reading the state for the hash before the
+        // next iteration starts overwriting it.
+        sync(barrier);
+        if repeated {
+            break;
+        }
+    }
+    iterations
+}
+
+/// Runs the whole plan on `threads` workers (crossbeam scoped threads; the
+/// calling thread doubles as worker 0). Returns the maximum per-shard
+/// iteration count.
+pub(crate) fn refine_parallel(
+    graph: &IrGraph,
+    plan: &ShardPlan,
+    cells: &SweepCells,
+    rels: &AsRelationships,
+    cones: &CustomerCones,
+    cfg: &Config,
+    threads: usize,
+) -> usize {
+    let (big, small): (Vec<&Shard>, Vec<&Shard>) = plan
+        .shards
+        .iter()
+        .partition(|s| s.mid_path.len() >= LOCKSTEP_MIN_MID_PATH);
+    let barrier = SpinBarrier::new(threads);
+    let max_iterations = AtomicUsize::new(0);
+    let worker = |w: usize| {
+        let mut ctx = SweepCtx::new(graph, cfg, rels, cones);
+        let mut local = 0usize;
+        // Big shards: every worker, lockstep.
+        for shard in &big {
+            local = local.max(converge_shard(
+                shard,
+                cells,
+                &mut ctx,
+                cfg.max_iterations,
+                w,
+                threads,
+                Some(&barrier),
+            ));
+        }
+        // Small shards: dealt round-robin, each converged solo.
+        for (k, shard) in small.iter().enumerate() {
+            if k % threads == w {
+                local = local.max(converge_shard(
+                    shard,
+                    cells,
+                    &mut ctx,
+                    cfg.max_iterations,
+                    0,
+                    1,
+                    None,
+                ));
+            }
+        }
+        max_iterations.fetch_max(local, Ordering::SeqCst);
+    };
+    crossbeam::thread::scope(|s| {
+        let worker = &worker;
+        for w in 1..threads {
+            s.spawn(move |_| worker(w));
+        }
+        worker(0);
+    })
+    .expect("refinement worker panicked");
+    max_iterations.load(Ordering::SeqCst)
+}
+
+/// A sense-reversing spin barrier.
+///
+/// Refinement synchronizes once per wavefront level — far too often for an
+/// OS-futex barrier — so waiters spin briefly and then yield (degrading
+/// gracefully when threads exceed cores).
+pub(crate) struct SpinBarrier {
+    total: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    pub fn new(total: usize) -> SpinBarrier {
+        SpinBarrier {
+            total,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn wait(&self) {
+        if self.total == 1 {
+            return;
+        }
+        let generation = self.generation.load(Ordering::SeqCst);
+        if self.count.fetch_add(1, Ordering::SeqCst) + 1 == self.total {
+            self.count.store(0, Ordering::SeqCst);
+            self.generation
+                .store(generation.wrapping_add(1), Ordering::SeqCst);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::SeqCst) == generation {
+                spins = spins.wrapping_add(1);
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_partition() {
+        let items: Vec<u32> = (0..13).collect();
+        for workers in 1..=5 {
+            let mut rebuilt = Vec::new();
+            for w in 0..workers {
+                rebuilt.extend_from_slice(chunk(&items, w, workers));
+            }
+            assert_eq!(rebuilt, items, "workers={workers}");
+        }
+        assert!(chunk(&[], 0, 3).is_empty());
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes() {
+        let threads = 4;
+        let barrier = SpinBarrier::new(threads);
+        let counter = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| {
+                    for round in 1..=50usize {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        // Between barriers every thread observes the full
+                        // round's increments.
+                        assert_eq!(counter.load(Ordering::SeqCst), round * threads);
+                        barrier.wait();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 50 * threads);
+    }
+
+    #[test]
+    fn single_thread_barrier_is_noop() {
+        let barrier = SpinBarrier::new(1);
+        barrier.wait();
+        barrier.wait();
+    }
+}

@@ -7,22 +7,21 @@
 //! routers are unanimously annotated with one AS that is a customer of an IR
 //! origin AS, the votes flip from the provider to that customer (Fig. 10).
 
-use crate::graph::{Ir, IrGraph};
-use crate::AnnotationState;
-use as_rel::AsRelationships;
+use crate::graph::Ir;
+use crate::refine::parallel::{RouterView, SweepCtx};
 use net_types::{Asn, Prefix};
 use std::collections::BTreeSet;
 
 /// Applies the correction in place on the per-link votes (parallel to
 /// `ir.links`).
-pub fn correct_reallocated(
+pub(crate) fn correct_reallocated(
     ir: &Ir,
-    graph: &IrGraph,
-    state: &AnnotationState,
-    rels: &AsRelationships,
+    view: &RouterView<'_>,
+    ctx: &mut SweepCtx<'_>,
     votes: &mut [Option<Asn>],
     usable: &[bool],
 ) {
+    let graph = ctx.graph;
     // Candidates: usable links whose subsequent interface origin is in the
     // IR's own origin set.
     let mut cand: Vec<usize> = Vec::new();
@@ -50,10 +49,7 @@ pub fn correct_reallocated(
     // All their routers must carry the same annotation X...
     let annotations: BTreeSet<Asn> = cand
         .iter()
-        .map(|&i| {
-            let jr = graph.iface_ir[ir.links[i].dst.0 as usize];
-            state.router[jr.0 as usize]
-        })
+        .map(|&i| view.router(graph.iface_ir[ir.links[i].dst.0 as usize]))
         .collect();
     let [x] = annotations.into_iter().collect::<Vec<_>>()[..] else {
         return;
@@ -63,7 +59,10 @@ pub fn correct_reallocated(
     }
     // ...and X must be a customer of an IR origin AS (and differ from the
     // provider origin the votes currently carry).
-    let is_customer_of_origin = ir.origins.iter().any(|&o| rels.is_customer(x, o));
+    let is_customer_of_origin = ir
+        .origins
+        .iter()
+        .any(|&o| ctx.cache.rels().is_customer(x, o));
     if !is_customer_of_origin {
         return;
     }

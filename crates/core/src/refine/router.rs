@@ -1,23 +1,18 @@
 //! Router annotation (§6.1, Algorithm 2).
 
-use crate::graph::{Ir, IrGraph, LinkLabel};
+use crate::graph::{Ir, LinkLabel};
+use crate::refine::parallel::{RouterView, SweepCtx};
 use crate::refine::{exceptions, hidden, realloc, votes};
-use crate::{AnnotationState, Config};
-use as_rel::{AsRelationships, CustomerCones};
+use as_rel::RelQueryCache;
 use bgp::OriginKind;
 use net_types::{Asn, Counter};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Annotates one IR (Algorithm 2), returning its new annotation
-/// ([`Asn::NONE`] when no evidence exists at all).
-pub fn annotate_ir(
-    ir: &Ir,
-    graph: &IrGraph,
-    state: &AnnotationState,
-    rels: &AsRelationships,
-    cones: &CustomerCones,
-    cfg: &Config,
-) -> Asn {
+/// ([`Asn::NONE`] when no evidence exists at all). Reads annotation state
+/// only through `view`, which presents exactly what the serial in-place
+/// sweep would see at this IR's turn.
+pub(crate) fn annotate_ir(ir: &Ir, view: &RouterView<'_>, ctx: &mut SweepCtx<'_>) -> Asn {
     // §4.2: use only the highest-confidence label class present — Nexthop
     // links when any exist, otherwise Echo, otherwise Multihop.
     let best_label = ir
@@ -29,22 +24,18 @@ pub fn annotate_ir(
     let usable: Vec<bool> = ir.links.iter().map(|l| l.label == best_label).collect();
 
     // ---- Alg. 2 lines 3–7: per-link votes (Algorithm 3) ----
-    let mut link_votes: Vec<Option<Asn>> = ir
-        .links
-        .iter()
-        .enumerate()
-        .map(|(i, l)| {
-            if usable[i] {
-                votes::link_vote(ir, l, graph, state, rels, cones, cfg)
-            } else {
-                None
-            }
-        })
-        .collect();
+    let mut link_votes: Vec<Option<Asn>> = Vec::with_capacity(ir.links.len());
+    for (i, l) in ir.links.iter().enumerate() {
+        link_votes.push(if usable[i] {
+            votes::link_vote(l, view, ctx)
+        } else {
+            None
+        });
+    }
 
     // ---- Alg. 2 line 8: reallocated-prefix correction (§6.1.2) ----
-    if cfg.enable_realloc {
-        realloc::correct_reallocated(ir, graph, state, rels, &mut link_votes, &usable);
+    if ctx.cfg.enable_realloc {
+        realloc::correct_reallocated(ir, view, ctx, &mut link_votes, &usable);
     }
 
     // Tally V and the origin-set map M (Alg. 2 lines 5–7).
@@ -55,13 +46,15 @@ pub fn annotate_ir(
         if let Some(a) = vote {
             v.add(*a);
             link_vote_ases.insert(*a);
-            m.entry(*a).or_default().extend(ir.links[i].origins.iter().copied());
+            m.entry(*a)
+                .or_default()
+                .extend(ir.links[i].origins.iter().copied());
         }
     }
 
     // ---- Alg. 2 line 9: one vote per IR interface origin ----
     for &ifidx in &ir.ifaces {
-        let o = graph.iface_origin[ifidx.0 as usize];
+        let o = ctx.graph.iface_origin[ifidx.0 as usize];
         if o.asn.is_some() && o.kind != OriginKind::Ixp {
             v.add(o.asn);
         }
@@ -72,8 +65,8 @@ pub fn annotate_ir(
     }
 
     // ---- Alg. 2 line 10: exceptions (§6.1.3) ----
-    if cfg.enable_exceptions {
-        if let Some(a) = exceptions::check_exceptions(ir, &link_vote_ases, &v, rels) {
+    if ctx.cfg.enable_exceptions {
+        if let Some(a) = exceptions::check_exceptions(ir, &link_vote_ases, &v, ctx.cache.rels()) {
             return a;
         }
     }
@@ -83,27 +76,31 @@ pub fn annotate_ir(
     // origin on their links.
     let mut r: BTreeSet<Asn> = ir.origins.clone();
     for (&cand, origins) in &m {
-        if origins.iter().any(|&o| o != cand && rels.has_relationship(o, cand)) {
+        if origins
+            .iter()
+            .any(|&o| o != cand && ctx.cache.has_relationship(o, cand))
+        {
             r.insert(cand);
         }
     }
     if r != ir.origins {
-        return elect(&v, &r, cones);
+        return elect(&v, &r, &mut ctx.cache);
     }
 
     // ---- Alg. 2 lines 13–14: open election + hidden-AS check ----
     let all: BTreeSet<Asn> = v.keys().copied().collect();
-    let a = elect(&v, &all, cones);
-    if cfg.enable_hidden_as {
+    let a = elect(&v, &all, &mut ctx.cache);
+    if ctx.cfg.enable_hidden_as {
         let vote_origins = m.get(&a).cloned().unwrap_or_default();
-        return hidden::check_hidden_as(ir, a, &vote_origins, rels);
+        return hidden::check_hidden_as(ir, a, &vote_origins, ctx.cache.rels());
     }
     a
 }
 
 /// The election: most votes among `allowed`, ties to the smallest customer
-/// cone then the lowest ASN (§6.1.4).
-fn elect(v: &Counter<Asn>, allowed: &BTreeSet<Asn>, cones: &CustomerCones) -> Asn {
+/// cone then the lowest ASN (§6.1.4). Cone sizes go through the memo cache —
+/// the same candidates recur every sweep.
+fn elect(v: &Counter<Asn>, allowed: &BTreeSet<Asn>, cache: &mut RelQueryCache<'_>) -> Asn {
     let mut best: Option<(u64, Asn)> = None;
     for &cand in allowed {
         let count = v.get(&cand);
@@ -114,8 +111,7 @@ fn elect(v: &Counter<Asn>, allowed: &BTreeSet<Asn>, cones: &CustomerCones) -> As
             None => true,
             Some((bc, ba)) => {
                 count > bc
-                    || (count == bc
-                        && (cones.size(cand), cand) < (cones.size(ba), ba))
+                    || (count == bc && (cache.cone_size(cand), cand) < (cache.cone_size(ba), ba))
             }
         };
         if better {
@@ -125,38 +121,30 @@ fn elect(v: &Counter<Asn>, allowed: &BTreeSet<Asn>, cones: &CustomerCones) -> As
     best.map(|(_, a)| a).unwrap_or(Asn::NONE)
 }
 
-/// Runs [`annotate_ir`] over every mid-path IR, updating `state.router` in
-/// place (annotations propagate within the sweep, §6.3).
-pub fn annotate_routers(
-    graph: &IrGraph,
-    state: &mut AnnotationState,
-    rels: &AsRelationships,
-    cones: &CustomerCones,
-    cfg: &Config,
-) {
-    for ir in graph.mid_path_irs() {
-        if state.frozen[ir.id.0 as usize] {
-            continue;
-        }
-        let a = annotate_ir(ir, graph, state, rels, cones, cfg);
-        if a.is_some() {
-            state.router[ir.id.0 as usize] = a;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use as_rel::{AsRelationships, CustomerCones};
+
+    fn elect_with(
+        v: &Counter<Asn>,
+        allowed: &BTreeSet<Asn>,
+        rels: &AsRelationships,
+        cones: &CustomerCones,
+    ) -> Asn {
+        let mut cache = RelQueryCache::new(rels, cones);
+        elect(v, allowed, &mut cache)
+    }
 
     #[test]
     fn elect_majority() {
         let mut v = Counter::new();
         v.add_n(Asn(1), 3);
         v.add_n(Asn(2), 5);
-        let cones = CustomerCones::compute(&AsRelationships::new());
+        let rels = AsRelationships::new();
+        let cones = CustomerCones::compute(&rels);
         let allowed: BTreeSet<Asn> = [Asn(1), Asn(2)].into_iter().collect();
-        assert_eq!(elect(&v, &allowed, &cones), Asn(2));
+        assert_eq!(elect_with(&v, &allowed, &rels, &cones), Asn(2));
     }
 
     #[test]
@@ -169,7 +157,7 @@ mod tests {
         v.add_n(Asn(2), 4);
         let allowed: BTreeSet<Asn> = [Asn(1), Asn(2)].into_iter().collect();
         // AS1 has cone 2; AS2 is a stub (cone 1) → the presumed customer.
-        assert_eq!(elect(&v, &allowed, &cones), Asn(2));
+        assert_eq!(elect_with(&v, &allowed, &rels, &cones), Asn(2));
     }
 
     #[test]
@@ -177,15 +165,17 @@ mod tests {
         let mut v = Counter::new();
         v.add_n(Asn(1), 10);
         v.add_n(Asn(2), 1);
-        let cones = CustomerCones::compute(&AsRelationships::new());
+        let rels = AsRelationships::new();
+        let cones = CustomerCones::compute(&rels);
         let allowed: BTreeSet<Asn> = [Asn(2)].into_iter().collect();
-        assert_eq!(elect(&v, &allowed, &cones), Asn(2));
+        assert_eq!(elect_with(&v, &allowed, &rels, &cones), Asn(2));
     }
 
     #[test]
     fn elect_empty() {
         let v = Counter::new();
-        let cones = CustomerCones::compute(&AsRelationships::new());
-        assert_eq!(elect(&v, &BTreeSet::new(), &cones), Asn::NONE);
+        let rels = AsRelationships::new();
+        let cones = CustomerCones::compute(&rels);
+        assert_eq!(elect_with(&v, &BTreeSet::new(), &rels, &cones), Asn::NONE);
     }
 }

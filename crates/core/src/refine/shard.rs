@@ -1,0 +1,245 @@
+//! Annotation-dependency shards and wavefront levels.
+//!
+//! During a router sweep (§6.1), annotating IR *i* reads only the state of
+//! IRs reachable through *i*'s links (`state.router` of the subsequent
+//! router, `state.iface` of the subsequent interface); during an interface
+//! sweep (§6.2), interface *j* reads only the router annotations of its own
+//! IR and of the predecessor IRs in `preds[j]` — all of which hold a link
+//! to *j*. Annotation state therefore never flows between two IRs unless
+//! they are connected by a chain of Nexthop/Echo/Multihop links, so the
+//! weakly connected components of the IR graph partition the refinement
+//! problem into independent **shards** that can converge separately and in
+//! parallel without changing any result.
+//!
+//! Within one shard, the serial engine is Gauss-Seidel: IRs are processed in
+//! ascending index order and a read of a *lower*-indexed mid-path IR sees
+//! the value written earlier in the same sweep. Those "reads new value"
+//! edges always point from a lower index to a higher one, so they form a
+//! DAG, and scheduling IRs by longest-path depth (**wavefront levels**)
+//! exposes the second tier of parallelism: all IRs in one level can be
+//! annotated concurrently while reproducing the serial sweep bit for bit
+//! (reads of higher-indexed IRs go to the pre-sweep snapshot either way —
+//! see `refine::parallel`).
+
+use crate::graph::{Ir, IrId};
+
+/// One weakly connected component of the IR graph.
+#[derive(Clone, Debug, Default)]
+pub struct Shard {
+    /// Every member IR (ascending). Last-hop IRs are included: their frozen
+    /// annotations are part of the shard's convergence state.
+    pub irs: Vec<u32>,
+    /// Member IRs with outgoing links (ascending) — the router-sweep set.
+    pub mid_path: Vec<u32>,
+    /// Member interface indices (ascending) — the interface-sweep set.
+    pub ifaces: Vec<u32>,
+    /// Wavefront levels over `mid_path`: `levels[d]` holds the IRs whose
+    /// longest same-sweep dependency chain has depth `d`, each level
+    /// ascending. Concatenated they contain exactly `mid_path`.
+    pub levels: Vec<Vec<u32>>,
+}
+
+/// The shard partition of an IR graph, computed once at graph-build time.
+#[derive(Clone, Debug, Default)]
+pub struct ShardPlan {
+    /// All shards, ordered by their lowest member IR index.
+    pub shards: Vec<Shard>,
+    /// IR index → index into [`ShardPlan::shards`].
+    pub ir_shard: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Partitions the IR graph into link-connected shards and computes the
+    /// wavefront levels of each.
+    pub fn compute(irs: &[Ir], iface_ir: &[IrId]) -> ShardPlan {
+        let n = irs.len();
+        // Union-find over IR indices; links connect an IR to the IR owning
+        // the destination interface.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                let grand = parent[parent[x as usize] as usize];
+                parent[x as usize] = grand;
+                x = grand;
+            }
+            x
+        }
+        for ir in irs {
+            for link in &ir.links {
+                let jr = iface_ir[link.dst.0 as usize].0;
+                let a = find(&mut parent, ir.id.0);
+                let b = find(&mut parent, jr);
+                if a != b {
+                    // Union toward the smaller root so each component's
+                    // representative is its lowest member.
+                    parent[a.max(b) as usize] = a.min(b);
+                }
+            }
+        }
+
+        // Number shards by first appearance in ascending IR order, which
+        // orders them by lowest member.
+        let mut ir_shard = vec![u32::MAX; n];
+        let mut shards: Vec<Shard> = Vec::new();
+        for i in 0..n as u32 {
+            let root = find(&mut parent, i) as usize;
+            let sid = if ir_shard[root] == u32::MAX {
+                shards.push(Shard::default());
+                let sid = (shards.len() - 1) as u32;
+                ir_shard[root] = sid;
+                sid
+            } else {
+                ir_shard[root]
+            };
+            ir_shard[i as usize] = sid;
+            shards[sid as usize].irs.push(i);
+            if !irs[i as usize].links.is_empty() {
+                shards[sid as usize].mid_path.push(i);
+            }
+        }
+
+        // Interfaces follow their owning IR.
+        for (idx, &ir) in iface_ir.iter().enumerate() {
+            shards[ir_shard[ir.0 as usize] as usize]
+                .ifaces
+                .push(idx as u32);
+        }
+
+        // Wavefront levels: depth(i) = 1 + max depth over same-sweep
+        // dependencies (mid-path link destinations with a lower index).
+        // Ascending order means every dependency is resolved before use.
+        let mut depth = vec![0u32; n];
+        for ir in irs {
+            if ir.links.is_empty() {
+                continue;
+            }
+            let i = ir.id.0;
+            let mut d = 0;
+            for link in &ir.links {
+                let jr = iface_ir[link.dst.0 as usize].0;
+                if jr < i && !irs[jr as usize].links.is_empty() {
+                    d = d.max(depth[jr as usize] + 1);
+                }
+            }
+            depth[i as usize] = d;
+            let shard = &mut shards[ir_shard[i as usize] as usize];
+            if shard.levels.len() <= d as usize {
+                shard.levels.resize(d as usize + 1, Vec::new());
+            }
+            shard.levels[d as usize].push(i);
+        }
+
+        ShardPlan { shards, ir_shard }
+    }
+
+    /// The widest wavefront level across all shards — an upper bound on the
+    /// useful intra-shard parallelism.
+    pub fn max_level_width(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.levels.iter().map(Vec::len))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{IfIdx, Link, LinkLabel};
+    use std::collections::BTreeSet;
+
+    /// Builds `n` IRs each owning one interface, wired by `edges`
+    /// (src IR → dst IR, through the dst IR's interface).
+    fn plan_of(n: u32, edges: &[(u32, u32)]) -> ShardPlan {
+        let mut irs: Vec<Ir> = (0..n)
+            .map(|i| Ir {
+                id: IrId(i),
+                ifaces: vec![IfIdx(i)],
+                links: Vec::new(),
+                origins: BTreeSet::new(),
+                dests: BTreeSet::new(),
+            })
+            .collect();
+        for &(src, dst) in edges {
+            irs[src as usize].links.push(Link {
+                dst: IfIdx(dst),
+                label: LinkLabel::Nexthop,
+                origins: BTreeSet::new(),
+                dests: BTreeSet::new(),
+            });
+        }
+        let iface_ir: Vec<IrId> = (0..n).map(IrId).collect();
+        ShardPlan::compute(&irs, &iface_ir)
+    }
+
+    #[test]
+    fn partition_covers_every_ir_exactly_once() {
+        let plan = plan_of(7, &[(0, 1), (1, 2), (4, 5), (2, 0)]);
+        let mut seen = vec![0u32; 7];
+        for shard in &plan.shards {
+            for &ir in &shard.irs {
+                seen[ir as usize] += 1;
+            }
+        }
+        assert_eq!(seen, vec![1; 7], "every IR in exactly one shard");
+        // ir_shard agrees with membership.
+        for (sid, shard) in plan.shards.iter().enumerate() {
+            for &ir in &shard.irs {
+                assert_eq!(plan.ir_shard[ir as usize], sid as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn components_split_correctly() {
+        // {0,1,2} linked, {3} isolated, {4,5} linked, {6} isolated.
+        let plan = plan_of(7, &[(0, 1), (1, 2), (4, 5)]);
+        let sizes: Vec<usize> = plan.shards.iter().map(|s| s.irs.len()).collect();
+        assert_eq!(sizes, vec![3, 1, 2, 1]);
+        // Shards are ordered by lowest member.
+        assert_eq!(plan.shards[0].irs, vec![0, 1, 2]);
+        assert_eq!(plan.shards[2].irs, vec![4, 5]);
+        // Destination-only IRs are members but not mid-path.
+        assert_eq!(plan.shards[0].mid_path, vec![0, 1]);
+        assert_eq!(plan.shards[2].mid_path, vec![4]);
+    }
+
+    #[test]
+    fn ifaces_follow_their_ir() {
+        let plan = plan_of(4, &[(0, 1), (2, 3)]);
+        assert_eq!(plan.shards[0].ifaces, vec![0, 1]);
+        assert_eq!(plan.shards[1].ifaces, vec![2, 3]);
+    }
+
+    #[test]
+    fn levels_partition_mid_path_and_respect_dependencies() {
+        // 0→1→2→3 chain plus 1→0 back-edge: mid-path IRs are 0,1,2.
+        // Same-sweep dependencies point at *lower-indexed mid-path* IRs
+        // only: 0 reads nothing below it (depth 0); 1 reads 0 via the
+        // back-edge (depth 1); 2 reads only IR 3, which is higher-indexed
+        // and not mid-path (depth 0).
+        let plan = plan_of(4, &[(0, 1), (1, 2), (2, 3), (1, 0)]);
+        let shard = &plan.shards[0];
+        assert_eq!(shard.levels.len(), 2);
+        assert_eq!(shard.levels[0], vec![0, 2]);
+        assert_eq!(shard.levels[1], vec![1]);
+        // Levels concatenate to exactly the mid-path set.
+        let mut flat: Vec<u32> = shard.levels.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        assert_eq!(flat, shard.mid_path);
+        assert_eq!(plan.max_level_width(), 2);
+    }
+
+    #[test]
+    fn wide_level_for_independent_irs() {
+        // 1..=4 all link only to 0: every mid-path IR sits in level 1
+        // (they depend on nothing below themselves except via 0? no — 0 is
+        // their destination and has no links, so all are depth 0).
+        let plan = plan_of(5, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let shard = &plan.shards[0];
+        assert_eq!(shard.levels.len(), 1);
+        assert_eq!(shard.levels[0], vec![1, 2, 3, 4]);
+        assert_eq!(plan.max_level_width(), 4);
+    }
+}

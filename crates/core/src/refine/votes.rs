@@ -6,25 +6,16 @@
 //! `j` is an IXP address (line 2); and `j`'s *router* annotation when `j`
 //! is unannounced or inferred to be a third-party address (lines 5–8).
 
-use crate::graph::{Ir, IrGraph, Link};
-use crate::{AnnotationState, Config};
-use as_rel::{AsRelationships, CustomerCones};
+use crate::graph::Link;
+use crate::refine::parallel::{RouterView, SweepCtx};
 use bgp::OriginKind;
 use net_types::Asn;
 
 /// Algorithm 3: the AS a single link votes for, or `None` when the link
 /// contributes no information.
-pub fn link_vote(
-    _ir: &Ir,
-    link: &Link,
-    graph: &IrGraph,
-    state: &AnnotationState,
-    rels: &AsRelationships,
-    cones: &CustomerCones,
-    cfg: &Config,
-) -> Option<Asn> {
+pub(crate) fn link_vote(link: &Link, view: &RouterView<'_>, ctx: &mut SweepCtx<'_>) -> Option<Asn> {
     let j = link.dst.0 as usize;
-    let j_origin = graph.iface_origin[j];
+    let j_origin = ctx.graph.iface_origin[j];
 
     // Line 1: the subsequent origin already appears among the origins seen
     // prior to it — the link stays inside (or returns into) that AS.
@@ -35,15 +26,15 @@ pub fn link_vote(
     // Line 2: IXP public peering address. Vote for the likely transit
     // provider among the prior origins: the largest customer cone.
     if j_origin.kind == OriginKind::Ixp {
-        if !cfg.enable_ixp_heuristic {
+        if !ctx.cfg.enable_ixp_heuristic {
             return None;
         }
-        return cones.largest_cone(link.origins.iter().copied());
+        return ctx.cache.largest_cone(link.origins.iter().copied());
     }
 
     // Line 3: the annotation of j's router.
-    let jr = graph.iface_ir[j];
-    let as_j = state.router[jr.0 as usize];
+    let jr = ctx.graph.iface_ir[j];
+    let as_j = view.router(jr);
 
     if as_j.is_none() {
         // j's IR not yet annotated (first iteration only): skip the
@@ -52,7 +43,7 @@ pub fn link_vote(
         if j_origin.asn.is_none() {
             return None;
         }
-        let ann = state.iface[j];
+        let ann = view.iface(link.dst);
         return ann.is_some().then_some(ann);
     }
 
@@ -67,19 +58,19 @@ pub fn link_vote(
     // router's annotation, some prior origin has a relationship with that
     // router's AS (the probe could reach it without crossing j's origin AS),
     // and no probe crossing this link was ever destined to j's origin AS.
-    if cfg.enable_third_party
+    if ctx.cfg.enable_third_party
         && j_origin.asn != as_j
         && link
             .origins
             .iter()
-            .any(|&o| rels.has_relationship(o, as_j))
+            .any(|&o| ctx.cache.has_relationship(o, as_j))
         && !link.dests.contains(&j_origin.asn)
     {
         return Some(as_j);
     }
 
     // Line 9: the interface annotation.
-    let ann = state.iface[j];
+    let ann = view.iface(link.dst);
     if ann.is_some() {
         Some(ann)
     } else {

@@ -1,0 +1,151 @@
+//! Serial/parallel equivalence: the refinement engine must produce
+//! bit-identical annotations for every thread count (the contract stated on
+//! [`Config::threads`] and proven structurally in `refine::parallel`). These
+//! tests check it empirically over arbitrary generated corpora, alongside
+//! the shard-plan invariants the equivalence argument rests on.
+
+use alias::AliasSets;
+use as_rel::{AsRelationships, CustomerCones};
+use bdrmapit_core::{Bdrmapit, Config, IrGraph};
+use bgp::IpToAs;
+use net_types::{Asn, Prefix};
+use proptest::prelude::*;
+use traceroute::{Hop, ReplyType, StopReason, Trace};
+
+/// Oracle: 10.N.0.0/16 → AS N for N in 1..=6; everything else unannounced.
+fn oracle() -> IpToAs {
+    IpToAs::from_pairs(
+        (1..=6u32).map(|n| (format!("10.{n}.0.0/16").parse::<Prefix>().unwrap(), Asn(n))),
+    )
+}
+
+fn rels() -> AsRelationships {
+    let mut r = AsRelationships::new();
+    r.add_p2p(Asn(1), Asn(2));
+    r.add_p2c(Asn(1), Asn(3));
+    r.add_p2c(Asn(2), Asn(4));
+    r.add_p2c(Asn(3), Asn(5));
+    r.add_p2c(Asn(4), Asn(6));
+    r
+}
+
+fn addr_strategy() -> impl Strategy<Value = u32> {
+    (1u32..=7, 0u32..200).prop_map(|(net, host)| {
+        if net == 7 {
+            0xAC10_0000 + host // 172.16/16: unannounced
+        } else {
+            0x0A00_0000 + (net << 16) + host
+        }
+    })
+}
+
+fn reply_strategy() -> impl Strategy<Value = ReplyType> {
+    prop_oneof![
+        5 => Just(ReplyType::TimeExceeded),
+        1 => Just(ReplyType::EchoReply),
+        1 => Just(ReplyType::DestUnreachable),
+    ]
+}
+
+prop_compose! {
+    fn trace_strategy()(
+        dst in addr_strategy(),
+        hops in proptest::collection::vec(
+            proptest::option::weighted(0.8, (addr_strategy(), reply_strategy())),
+            1..10
+        ),
+    ) -> Trace {
+        Trace {
+            monitor: "vp".into(),
+            src: 0x0A01_00FE,
+            dst,
+            hops: hops
+                .into_iter()
+                .map(|h| h.map(|(addr, reply)| Hop { addr, reply }))
+                .collect(),
+            stop: StopReason::GapLimit,
+        }
+    }
+}
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<Trace>> {
+    proptest::collection::vec(trace_strategy(), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The headline guarantee: `threads` never changes a single annotation.
+    /// Thread counts 2 and 8 exercise both parallel regimes (fewer and more
+    /// workers than most corpora have shards/level slots) against serial.
+    #[test]
+    fn thread_count_never_changes_results(traces in corpus_strategy()) {
+        let run = |threads: usize| {
+            let cfg = Config { threads, ..Config::default() };
+            Bdrmapit::new(cfg).run(&traces, &AliasSets::empty(), &oracle(), &rels())
+        };
+        let serial = run(1);
+        for threads in [2usize, 8] {
+            let parallel = run(threads);
+            prop_assert_eq!(
+                serial.router_annotations(),
+                parallel.router_annotations(),
+                "router annotations diverged at threads={}",
+                threads
+            );
+            prop_assert_eq!(
+                serial.interdomain_links(),
+                parallel.interdomain_links(),
+                "interdomain links diverged at threads={}",
+                threads
+            );
+            prop_assert_eq!(
+                &serial.state.iface,
+                &parallel.state.iface,
+                "interface annotations diverged at threads={}",
+                threads
+            );
+            prop_assert_eq!(serial.state.iterations, parallel.state.iterations);
+        }
+    }
+
+    /// The shard plan the equivalence rests on: every IR lands in exactly
+    /// one shard, every interface follows its IR, and the wavefront levels
+    /// of each shard are a partition of its mid-path set.
+    #[test]
+    fn shard_plan_partitions_every_built_graph(traces in corpus_strategy()) {
+        let r = rels();
+        let cones = CustomerCones::compute(&r);
+        let g = IrGraph::build(&traces, &AliasSets::empty(), &oracle(), &Config::default(), &r, &cones);
+        let plan = &g.shards;
+
+        let mut ir_seen = vec![0u32; g.irs.len()];
+        let mut iface_seen = vec![0u32; g.iface_addrs.len()];
+        for (sid, shard) in plan.shards.iter().enumerate() {
+            for &ir in &shard.irs {
+                ir_seen[ir as usize] += 1;
+                prop_assert_eq!(plan.ir_shard[ir as usize], sid as u32);
+            }
+            for &j in &shard.ifaces {
+                iface_seen[j as usize] += 1;
+                prop_assert_eq!(
+                    plan.ir_shard[g.iface_ir[j as usize].0 as usize],
+                    sid as u32,
+                    "interface in a different shard than its IR"
+                );
+            }
+            let mut level_irs: Vec<u32> = shard.levels.iter().flatten().copied().collect();
+            level_irs.sort_unstable();
+            prop_assert_eq!(&level_irs, &shard.mid_path, "levels must partition mid_path");
+            // Every link stays inside the shard (the independence property).
+            for &i in &shard.irs {
+                for link in &g.irs[i as usize].links {
+                    let jr = g.iface_ir[link.dst.0 as usize].0;
+                    prop_assert_eq!(plan.ir_shard[jr as usize], sid as u32, "link escapes shard");
+                }
+            }
+        }
+        prop_assert!(ir_seen.iter().all(|&c| c == 1), "IR not in exactly one shard");
+        prop_assert!(iface_seen.iter().all(|&c| c == 1), "iface not in exactly one shard");
+    }
+}

@@ -127,7 +127,10 @@ fn refinement_terminates_quickly() {
 fn deterministic_end_to_end() {
     let p1 = run_pipeline(19, 4);
     let p2 = run_pipeline(19, 4);
-    assert_eq!(p1.result.router_annotations(), p2.result.router_annotations());
+    assert_eq!(
+        p1.result.router_annotations(),
+        p2.result.router_annotations()
+    );
     assert_eq!(p1.result.interdomain_links(), p2.result.interdomain_links());
 }
 
@@ -156,9 +159,8 @@ fn last_hop_phase_annotates_firewalled_edges() {
     .run(&traces, &aliases, &ip2as, &rels);
 
     // The last-hop phase must produce strictly more annotated IRs.
-    let count = |r: &bdrmapit_core::Annotated| {
-        r.state.router.iter().filter(|a| a.is_some()).count()
-    };
+    let count =
+        |r: &bdrmapit_core::Annotated| r.state.router.iter().filter(|a| a.is_some()).count();
     assert!(
         count(&with) > count(&without),
         "last-hop phase added no annotations"
@@ -187,12 +189,8 @@ fn works_without_alias_resolution() {
     let ip2as = IpToAs::build(&rib, &net.addressing.delegations, &net.addressing.ixps);
     let rels = infer_relationships(&rib.collapsed_paths(), &InferenceConfig::default());
 
-    let result = Bdrmapit::new(Config::default()).run(
-        &traces,
-        &alias::AliasSets::empty(),
-        &ip2as,
-        &rels,
-    );
+    let result =
+        Bdrmapit::new(Config::default()).run(&traces, &alias::AliasSets::empty(), &ip2as, &rels);
     // Every IR is a singleton.
     for ir in &result.graph.irs {
         assert_eq!(ir.ifaces.len(), 1);

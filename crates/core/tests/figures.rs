@@ -19,12 +19,9 @@ fn a(s: &str) -> u32 {
 
 /// `10.N.0.0/16` originated by `AS N` for N = 1..=9.
 fn oracle() -> IpToAs {
-    IpToAs::from_pairs((1..=9).map(|n| {
-        (
-            format!("10.{n}.0.0/16").parse::<Prefix>().unwrap(),
-            Asn(n),
-        )
-    }))
+    IpToAs::from_pairs(
+        (1..=9).map(|n| (format!("10.{n}.0.0/16").parse::<Prefix>().unwrap(), Asn(n))),
+    )
 }
 
 fn tr(dst: &str, hops: &[&str]) -> Trace {
@@ -251,9 +248,9 @@ fn fig9_third_party_address_suppressed() {
     let mut rels = AsRelationships::new();
     rels.add_p2c(Asn(1), Asn(2));
     rels.add_p2c(Asn(4), Asn(3)); // AS3: the third party, unrelated to AS1/AS2
-    // Both "next hops" of AS1's router reply with AS3-space addresses; the
-    // responding routers are really AS2's (pinned by alias mates with AS2
-    // addresses and onward AS2 links). Probes target AS2, never AS3.
+                                  // Both "next hops" of AS1's router reply with AS3-space addresses; the
+                                  // responding routers are really AS2's (pinned by alias mates with AS2
+                                  // addresses and onward AS2 links). Probes target AS2, never AS3.
     let aliases = AliasSets::from_groups([
         BTreeSet::from([a("10.3.0.1"), a("10.2.0.5")]),
         BTreeSet::from([a("10.3.0.5"), a("10.2.0.6")]),

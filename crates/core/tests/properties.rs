@@ -13,12 +13,9 @@ use traceroute::{Hop, ReplyType, StopReason, Trace};
 
 /// Oracle: 10.N.0.0/16 → AS N for N in 1..=6; everything else unannounced.
 fn oracle() -> IpToAs {
-    IpToAs::from_pairs((1..=6u32).map(|n| {
-        (
-            format!("10.{n}.0.0/16").parse::<Prefix>().unwrap(),
-            Asn(n),
-        )
-    }))
+    IpToAs::from_pairs(
+        (1..=6u32).map(|n| (format!("10.{n}.0.0/16").parse::<Prefix>().unwrap(), Asn(n))),
+    )
 }
 
 fn rels() -> AsRelationships {

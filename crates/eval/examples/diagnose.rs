@@ -24,19 +24,34 @@ fn main() {
             let fw_b = s.net.is_firewalled(p.1);
             println!("missed {:?} fw=({fw_a},{fw_b})", p);
         }
-        let no_lh = run_bdrmapit(&s, &bundle, bdrmapit_core::Config {
-            enable_last_hop: false, ..Default::default()
-        });
+        let no_lh = run_bdrmapit(
+            &s,
+            &bundle,
+            bdrmapit_core::Config {
+                enable_last_hop: false,
+                ..Default::default()
+            },
+        );
         let pairs_nl = bdrmapit_pairs(&no_lh, None, true);
-        println!("full-only pairs: {:?}", pairs.difference(&pairs_nl).collect::<Vec<_>>());
-        println!("nl-only pairs: {:?}", pairs_nl.difference(&pairs).collect::<Vec<_>>());
+        println!(
+            "full-only pairs: {:?}",
+            pairs.difference(&pairs_nl).collect::<Vec<_>>()
+        );
+        println!(
+            "nl-only pairs: {:?}",
+            pairs_nl.difference(&pairs).collect::<Vec<_>>()
+        );
         // Firewalled stub census.
         use std::collections::BTreeSet;
         let mut fw_even = Vec::new();
         let mut fw_odd = Vec::new();
         for n in s.net.graph.nodes.values() {
             if n.firewalled {
-                if n.asn.0 % 2 == 0 { fw_even.push(n.asn) } else { fw_odd.push(n.asn) }
+                if n.asn.0 % 2 == 0 {
+                    fw_even.push(n.asn)
+                } else {
+                    fw_odd.push(n.asn)
+                }
             }
         }
         println!("firewalled even: {fw_even:?}\nfirewalled odd: {fw_odd:?}");

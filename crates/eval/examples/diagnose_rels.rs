@@ -10,7 +10,10 @@ fn main() {
         .unwrap_or(0);
     let scale = std::env::args().nth(2).unwrap_or_default();
     let cfg = if scale == "default" {
-        GeneratorConfig { seed, ..GeneratorConfig::default() }
+        GeneratorConfig {
+            seed,
+            ..GeneratorConfig::default()
+        }
     } else {
         GeneratorConfig::tiny(seed)
     };
@@ -21,7 +24,11 @@ fn main() {
     let mut ranked: Vec<_> = degrees.iter().map(|(&a, &d)| (d, a)).collect();
     ranked.sort_unstable_by(|a, b| b.cmp(a));
     println!("top degrees: {:?}", &ranked[..20.min(ranked.len())]);
-    let clique = as_rel::infer::infer_clique(&paths, &degrees, InferenceConfig::default().clique_candidates);
+    let clique = as_rel::infer::infer_clique(
+        &paths,
+        &degrees,
+        InferenceConfig::default().clique_candidates,
+    );
     println!("inferred clique: {clique:?}");
     let inferred = infer_relationships(&paths, &InferenceConfig::default());
     let truth = &net.graph.relationships;
@@ -51,7 +58,13 @@ fn main() {
         .iter()
         .filter(|&(a, b, _)| !inferred.has_relationship(a, b))
         .count();
-    println!("truth edges missing from inference: {missing} of {}", truth.len());
+    println!(
+        "truth edges missing from inference: {missing} of {}",
+        truth.len()
+    );
     let (agree, common) = as_rel::infer::agreement(&inferred, truth);
-    println!("agreement: {agree}/{common} = {:.3}", agree as f64 / common as f64);
+    println!(
+        "agreement: {agree}/{common} = {:.3}",
+        agree as f64 / common as f64
+    );
 }

@@ -7,8 +7,8 @@
 //! §7.4 ablation compares overall interface-level accuracy with and
 //! without aliases (the paper reports a <0.1% difference).
 
-use crate::experiments::run_bdrmapit;
 use crate::experiments::render_table;
+use crate::experiments::run_bdrmapit;
 use crate::metrics::Accuracy;
 use crate::scenario::{CorpusBundle, Scenario};
 use bdrmapit_core::{Annotated, Config};
@@ -55,8 +55,18 @@ impl AliasImpact {
                 .map(|r| {
                     vec![
                         r.network.clone(),
-                        format!("{:.3} ({}/{})", r.midar.value(), r.midar.correct, r.midar.total),
-                        format!("{:.3} ({}/{})", r.kapar.value(), r.kapar.correct, r.kapar.total),
+                        format!(
+                            "{:.3} ({}/{})",
+                            r.midar.value(),
+                            r.midar.correct,
+                            r.midar.total
+                        ),
+                        format!(
+                            "{:.3} ({}/{})",
+                            r.kapar.value(),
+                            r.kapar.correct,
+                            r.kapar.total
+                        ),
                     ]
                 })
                 .collect::<Vec<_>>(),
@@ -154,7 +164,15 @@ pub fn fig20(s: &Scenario, n_vps: usize, seed: u64) -> AliasImpact {
         rows,
         overall_midar: interface_accuracy(s, &midar_result, false, None),
         overall_none: interface_accuracy(s, &none_result, false, None),
-        midar_pair_precision: if m_tot == 0 { 1.0 } else { m_tp as f64 / m_tot as f64 },
-        kapar_pair_precision: if k_tot == 0 { 1.0 } else { k_tp as f64 / k_tot as f64 },
+        midar_pair_precision: if m_tot == 0 {
+            1.0
+        } else {
+            m_tp as f64 / m_tot as f64
+        },
+        kapar_pair_precision: if k_tot == 0 {
+            1.0
+        } else {
+            k_tp as f64 / k_tot as f64
+        },
     }
 }

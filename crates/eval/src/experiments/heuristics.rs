@@ -38,7 +38,14 @@ impl Ablation {
     pub fn render(&self) -> String {
         render_table(
             "Ablations — each heuristic disabled in turn",
-            &["variant", "precision", "recall", "ann acc", "inferred", "visible"],
+            &[
+                "variant",
+                "precision",
+                "recall",
+                "ann acc",
+                "inferred",
+                "visible",
+            ],
             &self
                 .rows
                 .iter()

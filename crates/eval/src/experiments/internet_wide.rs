@@ -58,7 +58,12 @@ impl InternetWide {
             render_table(
                 title,
                 &[
-                    "network", "visible", "IT prec", "IT recall", "MAPIT prec", "MAPIT recall",
+                    "network",
+                    "visible",
+                    "IT prec",
+                    "IT recall",
+                    "MAPIT prec",
+                    "MAPIT recall",
                 ],
                 &rows
                     .iter()

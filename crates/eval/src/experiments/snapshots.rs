@@ -132,7 +132,12 @@ impl Fig16Dual {
             render_table(
                 title,
                 &[
-                    "group", "visible", "IT prec", "IT recall", "MAPIT prec", "MAPIT recall",
+                    "group",
+                    "visible",
+                    "IT prec",
+                    "IT recall",
+                    "MAPIT prec",
+                    "MAPIT recall",
                 ],
                 &rows
                     .iter()
@@ -151,7 +156,10 @@ impl Fig16Dual {
         };
         format!(
             "{}\n{}",
-            fmt(&self.fig16, "Fig. 16 — No in-network VP (2016 & 2018 snapshots)"),
+            fmt(
+                &self.fig16,
+                "Fig. 16 — No in-network VP (2016 & 2018 snapshots)"
+            ),
             fmt(
                 &self.fig17,
                 "Fig. 17 — No in-network VP, last-hop-only links excluded (2016 & 2018)"

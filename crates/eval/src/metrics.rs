@@ -85,7 +85,11 @@ mod tests {
 
     #[test]
     fn precision_recall_basic() {
-        let pr = PrecisionRecall { tp: 8, fp: 2, fn_: 2 };
+        let pr = PrecisionRecall {
+            tp: 8,
+            fp: 2,
+            fn_: 2,
+        };
         assert!((pr.precision() - 0.8).abs() < 1e-12);
         assert!((pr.recall() - 0.8).abs() < 1e-12);
         assert!((pr.f1() - 0.8).abs() < 1e-12);

@@ -83,12 +83,7 @@ impl Scenario {
     /// `exclude_validation` is set, no VP sits inside a validation network
     /// (§7.2: "we removed traceroutes from a VP in one of our ground truth
     /// networks").
-    pub fn campaign(
-        &self,
-        n_vps: usize,
-        exclude_validation: bool,
-        vp_seed: u64,
-    ) -> CorpusBundle {
+    pub fn campaign(&self, n_vps: usize, exclude_validation: bool, vp_seed: u64) -> CorpusBundle {
         let exclude: Vec<Asn> = if exclude_validation {
             self.validation.all().to_vec()
         } else {
@@ -160,7 +155,12 @@ fn pick_validation(net: &Internet) -> ValidationNetworks {
     let large_access = accesses
         .iter()
         .copied()
-        .max_by_key(|&a| (net.graph.relationships.customers_of(a).count(), std::cmp::Reverse(a)))
+        .max_by_key(|&a| {
+            (
+                net.graph.relationships.customers_of(a).count(),
+                std::cmp::Reverse(a),
+            )
+        })
         .expect("at least one access network");
     let res = net.graph.tier_members(Tier::ResearchEducation);
     ValidationNetworks {

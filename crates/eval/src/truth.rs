@@ -140,7 +140,9 @@ fn visible_pairs_in(
             if t.reached_dst() {
                 continue;
             }
-            let Some((_, last)) = t.last_hop() else { continue };
+            let Some((_, last)) = t.last_hop() else {
+                continue;
+            };
             if has_successor.contains(&last.addr) {
                 continue;
             }

@@ -82,8 +82,7 @@ fn fig18_accuracy_does_not_collapse_with_fewer_vps() {
     // Average precision at the smallest group must be within 0.1 of the
     // largest group — the paper's flat-accuracy claim.
     let avg = |vps: usize, f: &dyn Fn(&vps::SweepCell) -> f64| -> f64 {
-        let cells: Vec<&vps::SweepCell> =
-            sweep.cells.iter().filter(|c| c.vps == vps).collect();
+        let cells: Vec<&vps::SweepCell> = sweep.cells.iter().filter(|c| c.vps == vps).collect();
         cells.iter().map(|c| f(c)).sum::<f64>() / cells.len() as f64
     };
     let p_small = avg(3, &|c| c.precision_mean);

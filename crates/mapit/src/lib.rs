@@ -260,8 +260,14 @@ mod tests {
     #[test]
     fn detects_border_interface() {
         let traces = [
-            tr(a("10.2.0.99"), &[a("10.1.0.1"), a("10.1.0.9"), a("10.2.0.1")]),
-            tr(a("10.2.0.98"), &[a("10.1.0.2"), a("10.1.0.9"), a("10.2.0.2")]),
+            tr(
+                a("10.2.0.99"),
+                &[a("10.1.0.1"), a("10.1.0.9"), a("10.2.0.1")],
+            ),
+            tr(
+                a("10.2.0.98"),
+                &[a("10.1.0.2"), a("10.1.0.9"), a("10.2.0.2")],
+            ),
         ];
         let mut m = Mapit::build(&traces, &oracle());
         m.run(&MapitConfig::default());
@@ -309,12 +315,30 @@ mod tests {
         // successors are those two interfaces, then flips through the
         // refined operators even though both successor *origins* are AS1.
         let traces = [
-            tr(a("10.2.0.99"), &[a("10.1.0.1"), a("10.1.0.9"), a("10.2.0.1")]),
-            tr(a("10.2.0.98"), &[a("10.1.0.2"), a("10.1.0.9"), a("10.2.0.2")]),
-            tr(a("10.2.0.97"), &[a("10.1.0.3"), a("10.1.0.12"), a("10.2.0.3")]),
-            tr(a("10.2.0.96"), &[a("10.1.0.4"), a("10.1.0.12"), a("10.2.0.4")]),
-            tr(a("10.2.0.95"), &[a("10.1.0.5"), a("10.1.0.10"), a("10.1.0.9")]),
-            tr(a("10.2.0.94"), &[a("10.1.0.6"), a("10.1.0.10"), a("10.1.0.12")]),
+            tr(
+                a("10.2.0.99"),
+                &[a("10.1.0.1"), a("10.1.0.9"), a("10.2.0.1")],
+            ),
+            tr(
+                a("10.2.0.98"),
+                &[a("10.1.0.2"), a("10.1.0.9"), a("10.2.0.2")],
+            ),
+            tr(
+                a("10.2.0.97"),
+                &[a("10.1.0.3"), a("10.1.0.12"), a("10.2.0.3")],
+            ),
+            tr(
+                a("10.2.0.96"),
+                &[a("10.1.0.4"), a("10.1.0.12"), a("10.2.0.4")],
+            ),
+            tr(
+                a("10.2.0.95"),
+                &[a("10.1.0.5"), a("10.1.0.10"), a("10.1.0.9")],
+            ),
+            tr(
+                a("10.2.0.94"),
+                &[a("10.1.0.6"), a("10.1.0.10"), a("10.1.0.12")],
+            ),
         ];
         let mut m = Mapit::build(&traces, &oracle());
         m.run(&MapitConfig::default());

@@ -93,7 +93,14 @@ mod tests {
     #[test]
     fn parse_rejects_garbage() {
         for bad in [
-            "", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", "01.2.3.4", "1.2.3.4 ",
+            "",
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.0.0.1",
+            "a.b.c.d",
+            "1..2.3",
+            "01.2.3.4",
+            "1.2.3.4 ",
         ] {
             assert_eq!(parse_ipv4(bad), None, "{bad:?} should not parse");
         }

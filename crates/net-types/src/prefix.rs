@@ -129,7 +129,10 @@ impl Prefix {
         } else {
             let l = self.len + 1;
             let hi_bit = 1u32 << (32 - l);
-            Some((Prefix::new(self.addr, l), Prefix::new(self.addr | hi_bit, l)))
+            Some((
+                Prefix::new(self.addr, l),
+                Prefix::new(self.addr | hi_bit, l),
+            ))
         }
     }
 
@@ -145,7 +148,11 @@ impl Prefix {
     /// # Panics
     /// Panics if `sublen < self.len()`.
     pub fn subnets(self, sublen: u8) -> impl Iterator<Item = Prefix> {
-        assert!(sublen >= self.len, "sublen {sublen} < prefix len {}", self.len);
+        assert!(
+            sublen >= self.len,
+            "sublen {sublen} < prefix len {}",
+            self.len
+        );
         assert!(sublen <= 32);
         let count = 1u64 << (sublen - self.len);
         let step = 1u64 << (32 - sublen);
@@ -248,7 +255,10 @@ mod tests {
         assert_eq!(p("10.0.0.0/24").size(), 256);
         assert_eq!(p("10.0.0.0/32").size(), 1);
         assert_eq!(Prefix::DEFAULT.size(), 1u64 << 32);
-        assert_eq!(p("10.0.0.0/24").last_addr(), parse_ipv4("10.0.0.255").unwrap());
+        assert_eq!(
+            p("10.0.0.0/24").last_addr(),
+            parse_ipv4("10.0.0.255").unwrap()
+        );
     }
 
     #[test]

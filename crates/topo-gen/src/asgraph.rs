@@ -94,7 +94,10 @@ impl AsGraph {
             }
         }
         let clique = tier_members.get(&Tier::Clique).cloned().unwrap_or_default();
-        let transits = tier_members.get(&Tier::Transit).cloned().unwrap_or_default();
+        let transits = tier_members
+            .get(&Tier::Transit)
+            .cloned()
+            .unwrap_or_default();
         let accesses = tier_members.get(&Tier::Access).cloned().unwrap_or_default();
         let res = tier_members
             .get(&Tier::ResearchEducation)

@@ -70,15 +70,8 @@ impl Internet {
         let graph = AsGraph::generate(&cfg);
         let addressing = Addressing::generate(&cfg, &graph);
         let topology = RouterTopology::generate(&cfg, &graph, &addressing);
-        let routing = Routing::new(
-            graph.relationships.clone(),
-            addressing.announce_via.clone(),
-        );
-        let announced = addressing
-            .announced
-            .iter()
-            .map(|&(p, a)| (p, a))
-            .collect();
+        let routing = Routing::new(graph.relationships.clone(), addressing.announce_via.clone());
+        let announced = addressing.announced.iter().map(|&(p, a)| (p, a)).collect();
         Internet {
             cfg,
             graph,
@@ -103,52 +96,68 @@ impl Internet {
 
         // Work out the AS-level path and the target router.
         let target_iface = self.topology.iface_by_addr(dst_addr).map(|i| i.id);
-        let (as_path, target_router, outcome) = if let Some(r) =
-            self.addressing.realloc_covering(dst_addr)
-        {
-            // Reallocated /24: global routing follows the provider's
-            // covering prefix; the provider hands off to the customer.
-            let Some(mut path) = self.routing.as_path(src_as, r.provider) else {
-                return ForwardPath { hops: vec![], outcome: ForwardOutcome::NoRoute };
-            };
-            if *path.last().expect("non-empty") != r.customer {
-                path.push(r.customer);
-            }
-            let (router, outcome) = match target_iface {
-                Some(ifid) if self.topology.iface(ifid).router_owner(&self.topology) == r.customer => {
-                    (self.topology.iface(ifid).router, ForwardOutcome::ReachedIface(ifid))
-                }
-                _ => (
-                    self.router_for_addr(r.customer, dst_addr),
-                    ForwardOutcome::ReachedHostSpace { asn: r.customer },
-                ),
-            };
-            (path, router, outcome)
-        } else if let Some(ifid) = target_iface {
-            // A real interface address: terminate at its router.
-            let router = self.topology.iface(ifid).router;
-            let owner = self.topology.owner(router);
-            let Some(path) = self.routing.as_path(src_as, owner) else {
-                return ForwardPath { hops: vec![], outcome: ForwardOutcome::NoRoute };
-            };
-            (path, router, ForwardOutcome::ReachedIface(ifid))
-        } else {
-            match self.bgp_origin(dst_addr) {
-                Some(origin) => {
-                    let Some(path) = self.routing.as_path(src_as, origin) else {
-                        return ForwardPath { hops: vec![], outcome: ForwardOutcome::NoRoute };
+        let (as_path, target_router, outcome) =
+            if let Some(r) = self.addressing.realloc_covering(dst_addr) {
+                // Reallocated /24: global routing follows the provider's
+                // covering prefix; the provider hands off to the customer.
+                let Some(mut path) = self.routing.as_path(src_as, r.provider) else {
+                    return ForwardPath {
+                        hops: vec![],
+                        outcome: ForwardOutcome::NoRoute,
                     };
-                    (
-                        path,
-                        self.router_for_addr(origin, dst_addr),
-                        ForwardOutcome::ReachedHostSpace { asn: origin },
-                    )
+                };
+                if *path.last().expect("non-empty") != r.customer {
+                    path.push(r.customer);
                 }
-                None => {
-                    return ForwardPath { hops: vec![], outcome: ForwardOutcome::NoRoute }
+                let (router, outcome) = match target_iface {
+                    Some(ifid)
+                        if self.topology.iface(ifid).router_owner(&self.topology) == r.customer =>
+                    {
+                        (
+                            self.topology.iface(ifid).router,
+                            ForwardOutcome::ReachedIface(ifid),
+                        )
+                    }
+                    _ => (
+                        self.router_for_addr(r.customer, dst_addr),
+                        ForwardOutcome::ReachedHostSpace { asn: r.customer },
+                    ),
+                };
+                (path, router, outcome)
+            } else if let Some(ifid) = target_iface {
+                // A real interface address: terminate at its router.
+                let router = self.topology.iface(ifid).router;
+                let owner = self.topology.owner(router);
+                let Some(path) = self.routing.as_path(src_as, owner) else {
+                    return ForwardPath {
+                        hops: vec![],
+                        outcome: ForwardOutcome::NoRoute,
+                    };
+                };
+                (path, router, ForwardOutcome::ReachedIface(ifid))
+            } else {
+                match self.bgp_origin(dst_addr) {
+                    Some(origin) => {
+                        let Some(path) = self.routing.as_path(src_as, origin) else {
+                            return ForwardPath {
+                                hops: vec![],
+                                outcome: ForwardOutcome::NoRoute,
+                            };
+                        };
+                        (
+                            path,
+                            self.router_for_addr(origin, dst_addr),
+                            ForwardOutcome::ReachedHostSpace { asn: origin },
+                        )
+                    }
+                    None => {
+                        return ForwardPath {
+                            hops: vec![],
+                            outcome: ForwardOutcome::NoRoute,
+                        }
+                    }
                 }
-            }
-        };
+            };
 
         // Expand the AS path to routers.
         let mut hops: Vec<ForwardHop> = vec![ForwardHop {
@@ -217,18 +226,12 @@ impl Internet {
             .expect("AS internal topology is connected");
         for win in path.windows(2) {
             let (prev, cur) = (win[0], win[1]);
-            let ingress = self
-                .topology
-                .router(cur)
-                .ifaces
-                .iter()
-                .copied()
-                .find(|&i| {
-                    self.topology
-                        .iface(i)
-                        .neighbor
-                        .is_some_and(|n| self.topology.iface(n).router == prev)
-                });
+            let ingress = self.topology.router(cur).ifaces.iter().copied().find(|&i| {
+                self.topology
+                    .iface(i)
+                    .neighbor
+                    .is_some_and(|n| self.topology.iface(n).router == prev)
+            });
             hops.push(ForwardHop {
                 router: cur,
                 ingress,
@@ -392,7 +395,8 @@ mod tests {
             .iter()
             .find(|i| {
                 // Pick an announced-space interface far from the VP.
-                net.bgp_origin(i.addr).is_some() && net.topology.owner(i.router) != net.topology.owner(vp)
+                net.bgp_origin(i.addr).is_some()
+                    && net.topology.owner(i.router) != net.topology.owner(vp)
             })
             .expect("some interface");
         let fwd = net.forward_path(vp, target.addr);
@@ -409,7 +413,10 @@ mod tests {
         let vp = net.topology.as_routers[&net.graph.tier_members(Tier::Transit)[0]][0];
         let dst = net.addressing.host_region(stub).addr() + 77;
         let fwd = net.forward_path(vp, dst);
-        assert!(matches!(fwd.outcome, ForwardOutcome::ReachedHostSpace { .. }));
+        assert!(matches!(
+            fwd.outcome,
+            ForwardOutcome::ReachedHostSpace { .. }
+        ));
         // Every hop after the first must have an ingress interface on the
         // hop's router, connected to the previous hop's router (or cross an
         // IXP LAN, where ingress is the LAN port).
@@ -468,7 +475,11 @@ mod tests {
             fwd.outcome,
             ForwardOutcome::ReachedHostSpace { asn: r.customer }
         );
-        let owners: Vec<Asn> = fwd.hops.iter().map(|h| net.topology.owner(h.router)).collect();
+        let owners: Vec<Asn> = fwd
+            .hops
+            .iter()
+            .map(|h| net.topology.owner(h.router))
+            .collect();
         assert!(
             owners.contains(&r.provider),
             "realloc traffic must transit the reallocating provider"

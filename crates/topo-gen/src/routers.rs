@@ -157,7 +157,15 @@ impl RouterTopology {
                     if ids.len() == 2 && j < i {
                         break; // avoid a duplicate link for 2-router rings
                     }
-                    topo.add_internal_link(ids[i], ids[j], node.asn, &mut pools, &mut dark_pools, cfg, &mut rng);
+                    topo.add_internal_link(
+                        ids[i],
+                        ids[j],
+                        node.asn,
+                        &mut pools,
+                        &mut dark_pools,
+                        cfg,
+                        &mut rng,
+                    );
                 }
                 // Random chords.
                 let chords = (ids.len() as f64 * cfg.internal_chord_factor) as usize;
@@ -165,7 +173,15 @@ impl RouterTopology {
                     let i = rng.gen_range(0..ids.len());
                     let j = rng.gen_range(0..ids.len());
                     if i != j {
-                        topo.add_internal_link(ids[i], ids[j], node.asn, &mut pools, &mut dark_pools, cfg, &mut rng);
+                        topo.add_internal_link(
+                            ids[i],
+                            ids[j],
+                            node.asn,
+                            &mut pools,
+                            &mut dark_pools,
+                            cfg,
+                            &mut rng,
+                        );
                     }
                 }
             }
@@ -264,6 +280,7 @@ impl RouterTopology {
         id
     }
 
+    #[allow(clippy::too_many_arguments)] // internal builder plumbing
     fn add_internal_link(
         &mut self,
         a: RouterId,
@@ -333,8 +350,8 @@ impl RouterTopology {
             let mut neighbors = self.internal_adj[cur.0 as usize].clone();
             neighbors.sort_unstable();
             for n in neighbors {
-                if !prev.contains_key(&n) {
-                    prev.insert(n, cur);
+                if let std::collections::btree_map::Entry::Vacant(e) = prev.entry(n) {
+                    e.insert(cur);
                     if n == to {
                         let mut path = vec![to];
                         let mut c = to;
@@ -363,8 +380,7 @@ impl RouterTopology {
             .copied()
             .find(|&i| {
                 let info = self.iface(i);
-                info.neighbor
-                    .is_some_and(|n| self.iface(n).router == next)
+                info.neighbor.is_some_and(|n| self.iface(n).router == next)
             })
     }
 
@@ -385,10 +401,9 @@ impl RouterTopology {
             }
         }
         for &(a, b, ixp) in &graph.ixp_peerings {
-            let (Some(&(ra, ia)), Some(&(rb, ib))) = (
-                self.ixp_ports.get(&(ixp, a)),
-                self.ixp_ports.get(&(ixp, b)),
-            ) else {
+            let (Some(&(ra, ia)), Some(&(rb, ib))) =
+                (self.ixp_ports.get(&(ixp, a)), self.ixp_ports.get(&(ixp, b)))
+            else {
                 continue;
             };
             out.push(TrueLink {

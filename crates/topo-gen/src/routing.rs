@@ -114,25 +114,19 @@ impl Routing {
                 self.rels.providers_of(u).collect()
             };
             for p in providers {
-                if !tree.contains_key(&p) {
-                    tree.insert(
-                        p,
-                        RouteEntry {
-                            next: u,
-                            dist: d + 1,
-                            class: RouteClass::Customer,
-                        },
-                    );
+                if let std::collections::btree_map::Entry::Vacant(e) = tree.entry(p) {
+                    e.insert(RouteEntry {
+                        next: u,
+                        dist: d + 1,
+                        class: RouteClass::Customer,
+                    });
                     frontier.insert((d + 1, p));
                 }
             }
         }
 
         // ---- Phase B: peer routes, one hop off the customer tree ----
-        let customer_routed: Vec<(Asn, u32)> = tree
-            .iter()
-            .map(|(&a, e)| (a, e.dist))
-            .collect();
+        let customer_routed: Vec<(Asn, u32)> = tree.iter().map(|(&a, e)| (a, e.dist)).collect();
         let mut peer_routes: Vec<(Asn, RouteEntry)> = Vec::new();
         for &(a, d) in &customer_routed {
             for peer in self.rels.peers_of(a) {
@@ -156,22 +150,18 @@ impl Routing {
         }
 
         // ---- Phase C: provider routes flood down p2c edges ----
-        let mut frontier: BTreeSet<(u32, Asn)> =
-            tree.iter().map(|(&a, e)| (e.dist, a)).collect();
+        let mut frontier: BTreeSet<(u32, Asn)> = tree.iter().map(|(&a, e)| (e.dist, a)).collect();
         while let Some(&(d, u)) = frontier.iter().next() {
             frontier.remove(&(d, u));
             // Skip if u's recorded route got replaced by a shorter one (we
             // never replace, so dist is stable; this is just defensive).
             for c in self.rels.customers_of(u) {
-                if !tree.contains_key(&c) {
-                    tree.insert(
-                        c,
-                        RouteEntry {
-                            next: u,
-                            dist: d + 1,
-                            class: RouteClass::Provider,
-                        },
-                    );
+                if let std::collections::btree_map::Entry::Vacant(e) = tree.entry(c) {
+                    e.insert(RouteEntry {
+                        next: u,
+                        dist: d + 1,
+                        class: RouteClass::Provider,
+                    });
                     frontier.insert((d + 1, c));
                 }
             }

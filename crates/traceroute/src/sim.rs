@@ -557,8 +557,10 @@ mod tests {
         assert!(!traces.is_empty());
         // Some prefix must have been re-probed (several distinct dests in
         // one announced prefix).
-        let mut per_prefix: std::collections::BTreeMap<net_types::Prefix, std::collections::BTreeSet<u32>> =
-            std::collections::BTreeMap::new();
+        let mut per_prefix: std::collections::BTreeMap<
+            net_types::Prefix,
+            std::collections::BTreeSet<u32>,
+        > = std::collections::BTreeMap::new();
         for t in &traces {
             for &(prefix, _) in &net.addressing.announced {
                 if prefix.contains(t.dst) {

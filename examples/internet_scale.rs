@@ -40,7 +40,12 @@ fn main() {
     // The paper's qualitative claims, checked live.
     let it_recall: f64 = wide.fig16.iter().map(|r| r.bdrmapit.recall()).sum::<f64>() / 4.0;
     let mp_recall: f64 = wide.fig16.iter().map(|r| r.mapit.recall()).sum::<f64>() / 4.0;
-    let it_prec: f64 = wide.fig16.iter().map(|r| r.bdrmapit.precision()).sum::<f64>() / 4.0;
+    let it_prec: f64 = wide
+        .fig16
+        .iter()
+        .map(|r| r.bdrmapit.precision())
+        .sum::<f64>()
+        / 4.0;
     println!(
         "summary: bdrmapIT precision {it_prec:.3}, recall {it_recall:.3}; \
          MAP-IT recall {mp_recall:.3} — {}",

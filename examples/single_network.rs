@@ -7,7 +7,9 @@
 //! ```
 
 use bdrmapit::eval::experiments::run_bdrmapit;
-use bdrmapit::eval::truth::{bdrmap_pairs, bdrmapit_pairs, true_pairs_of, visible_pairs, LinkScore};
+use bdrmapit::eval::truth::{
+    bdrmap_pairs, bdrmapit_pairs, true_pairs_of, visible_pairs, LinkScore,
+};
 use bdrmapit::eval::Scenario;
 use bdrmapit::topo_gen::GeneratorConfig;
 

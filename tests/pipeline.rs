@@ -44,7 +44,11 @@ fn rir_extended_format_roundtrip_preserves_oracle() {
     let s = Scenario::build(GeneratorConfig::tiny(503));
     let text = s.net.addressing.delegations.to_extended_format();
     let back = DelegationTable::parse_extended_format(&text).expect("parse");
-    let oracle1 = IpToAs::build(&s.rib, &s.net.addressing.delegations, &s.net.addressing.ixps);
+    let oracle1 = IpToAs::build(
+        &s.rib,
+        &s.net.addressing.delegations,
+        &s.net.addressing.ixps,
+    );
     let oracle2 = IpToAs::build(&s.rib, &back, &s.net.addressing.ixps);
     assert_eq!(oracle1.rir_prefix_count(), oracle2.rir_prefix_count());
     // Spot-check lookups over all observed infrastructure.

@@ -1,0 +1,296 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! Reproduces the harness surface the workspace's `harness = false` benches
+//! use: `Criterion`, `benchmark_group` (with `sample_size` / `throughput`),
+//! `bench_function`, `bench_with_input`, `BenchmarkId::from_parameter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is simplified: per benchmark it warms up briefly, takes
+//! `sample_size` wall-clock samples (auto-scaling iterations per sample so
+//! each sample is long enough to time), and prints min/median/mean. The
+//! `--test` flag (what `cargo bench -- --test` and CI smoke runs pass) runs
+//! every benchmark body exactly once without timing.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, same contract as criterion's `black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Whether the binary was invoked in `--test` smoke mode.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Optional substring filter: first free CLI argument, as criterion accepts.
+fn name_filter() -> Option<String> {
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--") && !a.is_empty())
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering the parameter only (criterion's `from_parameter`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s in `bench_*` calls.
+pub trait IntoBenchmarkId {
+    /// The display text of the id.
+    fn into_text(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_text(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_text(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_text(self) -> String {
+        self.text
+    }
+}
+
+/// Runs benchmark bodies and collects timing samples.
+pub struct Bencher {
+    samples: usize,
+    quick: bool,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `body` (or runs it once in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.quick {
+            black_box(body());
+            return;
+        }
+        // Warm-up: find an iteration count that makes one sample >= ~200us,
+        // bounded so very slow bodies still only run once per sample.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(body());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_micros(200) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        self.durations.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(body());
+            }
+            self.durations.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.quick {
+        println!("test {name} ... ok (--test mode, ran once)");
+        return;
+    }
+    let mut sorted = bencher.durations.clone();
+    sorted.sort();
+    let min = sorted.first().copied().unwrap_or_default();
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+    let mean = sorted.iter().sum::<Duration>() / sorted.len().max(1) as u32;
+    let mut line = format!(
+        "{name:<48} min {:>10}  median {:>10}  mean {:>10}",
+        format_duration(min),
+        format_duration(median),
+        format_duration(mean),
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        if median.as_nanos() > 0 {
+            let rate = n as f64 / median.as_secs_f64();
+            line.push_str(&format!("  ({rate:.0} elem/s)"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        run_one(id.into_text(), self.sample_size, None, f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(filter) = name_filter() {
+        if !name.contains(&filter) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        samples,
+        quick: test_mode(),
+        durations: Vec::new(),
+    };
+    f(&mut bencher);
+    report(&name, &bencher, throughput);
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_text());
+        run_one(name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized over `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_text());
+        run_one(name, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (settings die with it).
+    pub fn finish(self) {}
+}
+
+/// Defines a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

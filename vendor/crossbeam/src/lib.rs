@@ -1,0 +1,96 @@
+//! Offline vendored subset of the `crossbeam` scoped-thread API.
+//!
+//! Wraps `std::thread::scope` (stable since 1.63) behind crossbeam's
+//! `thread::scope` signature: the closure receives a spawn handle, spawned
+//! closures receive the same handle (so they can spawn siblings), `scope`
+//! returns `Result` and captures panics instead of propagating them.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Boxed panic payload, as `std::thread::Result` uses.
+    type Panic = Box<dyn Any + Send + 'static>;
+
+    /// Spawn handle passed to the `scope` closure.
+    ///
+    /// `Copy` so spawned closures can capture it by value (crossbeam passes
+    /// `&Scope`; call sites that ignore the argument compile with either).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope so it can
+        /// spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(scope)),
+            }
+        }
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result, or the panic payload.
+        pub fn join(self) -> Result<T, Panic> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope handle; all threads spawned in the scope are
+    /// joined before this returns. A panic in `f` (including one propagated
+    /// by an `expect` on a child's join) is returned as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Panic>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn spawn_and_join() {
+            let data = vec![1u32, 2, 3];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .iter()
+                    .map(|&n| s.spawn(move |_| n * 2))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+            })
+            .expect("scope");
+            assert_eq!(total, 12);
+        }
+
+        #[test]
+        fn panic_becomes_err() {
+            let result = super::scope(|s| {
+                s.spawn(|_| panic!("boom")).join().expect("child")
+            });
+            assert!(result.is_err());
+        }
+    }
+}

@@ -1,0 +1,582 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Reproduces the macro and strategy surface the workspace's property tests
+//! use: `proptest!` with `#![proptest_config(...)]`, `prop_compose!`,
+//! weighted `prop_oneof!`, `Just`, `prop_map`, `any::<T>()`, integer range
+//! strategies, tuple strategies, `collection::vec`, `option::weighted`, and
+//! the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Simplifications relative to real proptest: generation is seeded
+//! deterministically from the test's module path (every run explores the
+//! same cases — reproducible CI), there is no shrinking (a failing case
+//! reports its values via the assertion message), and `.proptest-regressions`
+//! files are ignored.
+
+use std::marker::PhantomData;
+
+// ---------------------------------------------------------------------------
+// Deterministic generator
+// ---------------------------------------------------------------------------
+
+/// The RNG strategies draw from (xorshift64*, seeded from the test name).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (the test path), never zero.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h | 1,
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64*.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A float in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A generator of values for property tests.
+///
+/// Object-safe core (`generate`), with sized combinators layered on top.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map {
+            inner: self,
+            f,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy yielding a constant (cloned) value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted union of boxed strategies (backs `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds from `(weight, strategy)` pairs.
+    pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! with zero total weight");
+        Union {
+            options,
+            total,
+        }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (weight, strat) in &self.options {
+            if pick < *weight as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weights sum checked in Union::new")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer ranges and `any`
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates a uniformly random value over the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's full domain; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T` (real proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+// ---------------------------------------------------------------------------
+// Collections and options
+// ---------------------------------------------------------------------------
+
+/// Length specification for [`collection::vec`].
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Inclusive lower bound.
+    pub lo: usize,
+    /// Inclusive upper bound.
+    pub hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi: n,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose elements come from `element` and whose length is
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>`; see [`weighted`].
+    pub struct WeightedOption<S> {
+        some_probability: f64,
+        inner: S,
+    }
+
+    /// `Some` with probability `some_probability`, else `None`.
+    pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> WeightedOption<S> {
+        assert!(
+            (0.0..=1.0).contains(&some_probability),
+            "probability out of range"
+        );
+        WeightedOption {
+            some_probability,
+            inner,
+        }
+    }
+
+    impl<S: Strategy> Strategy for WeightedOption<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_f64() < self.some_probability {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Drives the cases of one property test (used by the `proptest!` macro).
+pub struct TestRunner {
+    rng: TestRng,
+    cases: u32,
+    name: String,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        TestRunner {
+            rng: TestRng::from_name(name),
+            cases: config.cases,
+            name: name.to_string(),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The generator for the next case.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Records a case result; panics (failing the `#[test]`) on `Fail`.
+    pub fn finish_case(&self, result: Result<(), TestCaseError>, case: u32) {
+        match result {
+            Ok(()) | Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {} failed at case {case}: {msg}", self.name)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines deterministic property tests over strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let runner_config: $crate::ProptestConfig = $config;
+            let mut runner = $crate::TestRunner::new(
+                runner_config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..runner.cases() {
+                $(let $arg = $crate::Strategy::generate(&($strat), runner.rng());)*
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                runner.finish_case(__result, __case);
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Defines a function returning a composite strategy.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($outer:tt)*)
+            ($($arg:ident in $strat:expr),* $(,)?) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_map(
+                ($($strat,)*),
+                move |($($arg,)*)| $body,
+            )
+        }
+    };
+}
+
+/// Weighted choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<(u32, ::std::boxed::Box<dyn $crate::Strategy<Value = _>>)> =
+            vec![$(($weight as u32, ::std::boxed::Box::new($strat))),+];
+        $crate::Union::new(options)
+    }};
+    ($($strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<(u32, ::std::boxed::Box<dyn $crate::Strategy<Value = _>>)> =
+            vec![$((1u32, ::std::boxed::Box::new($strat))),+];
+        $crate::Union::new(options)
+    }};
+}
+
+/// Asserts inside a proptest body; fails the case with the values shown.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                left,
+                right,
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)*),
+            )));
+        }
+    }};
+}
+
+/// Skips the case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` imports.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_compose, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}

@@ -1,0 +1,28 @@
+//! Deserialization half of the vendored serde API.
+
+use crate::json::Value;
+use std::fmt::Display;
+
+/// Error constructor trait for deserializers (real serde's `de::Error`).
+pub trait Error: Sized {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A type that can deserialize itself.
+///
+/// The lifetime parameter exists for signature compatibility with real
+/// serde; the vendored data model is always owned.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The vendored deserializer: yields a complete owned [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Produces the complete JSON value being deserialized.
+    fn take_json_value(self) -> Result<Value, Self::Error>;
+}

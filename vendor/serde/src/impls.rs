@@ -1,0 +1,388 @@
+//! `Serialize` / `Deserialize` for the std types the workspace uses.
+
+use crate::de::{Deserialize, Deserializer, Error as DeError};
+use crate::json::{from_object_key, from_value, to_value, Value};
+use crate::ser::{Error as SerError, Serialize, Serializer};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+
+fn ser_err<S: Serializer>(msg: String) -> S::Error {
+    <S::Error as SerError>::custom(msg)
+}
+
+fn de_err<'de, D: Deserializer<'de>>(msg: String) -> D::Error {
+    <D::Error as DeError>::custom(msg)
+}
+
+// ---- integers -------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_json_value(Value::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_json_value()? {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| de_err::<D>(format!("{n} out of range"))),
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| de_err::<D>(format!("{n} out of range"))),
+                    other => Err(de_err::<D>(format!(
+                        "expected integer, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_json_value(Value::I64(*self as i64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_json_value()? {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| de_err::<D>(format!("{n} out of range"))),
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| de_err::<D>(format!("{n} out of range"))),
+                    other => Err(de_err::<D>(format!(
+                        "expected integer, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+// ---- floats, bool, strings ------------------------------------------------
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_json_value(Value::F64(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_json_value()? {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            other => Err(de_err::<D>(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_json_value(Value::F64(f64::from(*self)))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_json_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_json_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de_err::<D>(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_json_value(Value::String(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_json_value()?.into_string().map_err(de_err::<D>)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_json_value(Value::String(self.to_string()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_json_value(Value::String(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de_err::<D>(format!("expected single char, found {s:?}"))),
+        }
+    }
+}
+
+// ---- containers -----------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_json_value(Value::Null),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<'de, T: for<'x> Deserialize<'x>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_json_value()? {
+            Value::Null => Ok(None),
+            v => from_value::<T>(v).map(Some).map_err(de_err::<D>),
+        }
+    }
+}
+
+fn seq_to_value<'a, T: Serialize + 'a, S: Serializer>(
+    items: impl Iterator<Item = &'a T>,
+) -> Result<Value, S::Error> {
+    let mut out = Vec::new();
+    for item in items {
+        out.push(to_value(item).map_err(ser_err::<S>)?);
+    }
+    Ok(Value::Array(out))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        s.serialize_json_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        s.serialize_json_value(v)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        s.serialize_json_value(v)
+    }
+}
+
+impl<'de, T: for<'x> Deserialize<'x>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = d.take_json_value()?.into_array().map_err(de_err::<D>)?;
+        if items.len() != N {
+            return Err(de_err::<D>(format!(
+                "expected array of {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items
+            .into_iter()
+            .map(|v| from_value(v).map_err(de_err::<D>))
+            .collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| de_err::<D>("array length mismatch".to_string()))
+    }
+}
+
+impl<'de, T: for<'x> Deserialize<'x>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = d.take_json_value()?.into_array().map_err(de_err::<D>)?;
+        items
+            .into_iter()
+            .map(|v| from_value(v).map_err(de_err::<D>))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        s.serialize_json_value(v)
+    }
+}
+
+impl<'de, T: for<'x> Deserialize<'x> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = d.take_json_value()?.into_array().map_err(de_err::<D>)?;
+        items
+            .into_iter()
+            .map(|v| from_value(v).map_err(de_err::<D>))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Eq + Hash + Ord> Serialize for HashSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Deterministic output: sort before writing.
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        let v = seq_to_value::<&T, S>(items.iter())?;
+        s.serialize_json_value(v)
+    }
+}
+
+impl<'de, T: for<'x> Deserialize<'x> + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = d.take_json_value()?.into_array().map_err(de_err::<D>)?;
+        items
+            .into_iter()
+            .map(|v| from_value(v).map_err(de_err::<D>))
+            .collect()
+    }
+}
+
+fn map_to_value<'a, K, V, S>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Result<Value, S::Error>
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    S: Serializer,
+{
+    let mut out = Vec::new();
+    for (k, v) in entries {
+        let key = to_value(k).map_err(ser_err::<S>)?.into_object_key();
+        out.push((key, to_value(v).map_err(ser_err::<S>)?));
+    }
+    Ok(Value::Object(out))
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = map_to_value::<K, V, S>(self.iter())?;
+        s.serialize_json_value(v)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: for<'x> Deserialize<'x> + Ord,
+    V: for<'x> Deserialize<'x>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let fields = d.take_json_value()?.into_object().map_err(de_err::<D>)?;
+        fields
+            .into_iter()
+            .map(|(k, v)| {
+                Ok((
+                    from_object_key(&k).map_err(de_err::<D>)?,
+                    from_value(v).map_err(de_err::<D>)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+impl<K: Serialize + Eq + Hash + Ord, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Deterministic output: sort by key before writing.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let mut out = Vec::new();
+        for (k, v) in entries {
+            let key = to_value(k).map_err(ser_err::<S>)?.into_object_key();
+            out.push((key, to_value(v).map_err(ser_err::<S>)?));
+        }
+        s.serialize_json_value(Value::Object(out))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: for<'x> Deserialize<'x> + Eq + Hash,
+    V: for<'x> Deserialize<'x>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let fields = d.take_json_value()?.into_object().map_err(de_err::<D>)?;
+        fields
+            .into_iter()
+            .map(|(k, v)| {
+                Ok((
+                    from_object_key(&k).map_err(de_err::<D>)?,
+                    from_value(v).map_err(de_err::<D>)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! impl_tuple {
+    ($len:literal; $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_value(&self.$idx).map_err(ser_err::<S>)?),+
+                ];
+                s.serialize_json_value(Value::Array(items))
+            }
+        }
+        impl<'de, $($t: for<'x> Deserialize<'x>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let items = d.take_json_value()?.into_array().map_err(de_err::<D>)?;
+                if items.len() != $len {
+                    return Err(de_err::<D>(format!(
+                        "expected array of {}, found {}", $len, items.len()
+                    )));
+                }
+                let mut it = items.into_iter();
+                Ok(($(
+                    {
+                        let _ = stringify!($t);
+                        from_value(it.next().expect("length checked")).map_err(de_err::<D>)?
+                    },
+                )+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1; T0.0);
+impl_tuple!(2; T0.0, T1.1);
+impl_tuple!(3; T0.0, T1.1, T2.2);
+impl_tuple!(4; T0.0, T1.1, T2.2, T3.3);

@@ -1,0 +1,32 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the handful of external crates the code depends on are vendored under
+//! `vendor/` as minimal, API-compatible subsets. This crate reproduces the
+//! parts of `serde` the workspace actually uses:
+//!
+//! * the [`Serialize`] / [`Deserialize`] traits with the real signatures
+//!   (manual implementations in the workspace compile unchanged),
+//! * [`Serializer`] / [`Deserializer`] traits reduced to a JSON-value data
+//!   model ([`json::Value`]) instead of serde's full streaming model,
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   proc-macro (container attributes `transparent`, field attribute
+//!   `skip`),
+//! * implementations for the std types the workspace serializes.
+//!
+//! The simplification relative to real serde: serialization always goes
+//! through an owned [`json::Value`] tree. That is entirely adequate for the
+//! JSON-lines persistence and config round-tripping done here, and keeps
+//! the vendored code small and auditable.
+
+pub mod de;
+pub mod json;
+pub mod ser;
+
+mod impls;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

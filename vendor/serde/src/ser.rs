@@ -1,0 +1,50 @@
+//! Serialization half of the vendored serde API.
+
+use crate::json::Value;
+use std::fmt::{self, Display};
+
+/// Error constructor trait for serializers (real serde's `ser::Error`).
+pub trait Error: Sized {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A type that can serialize itself.
+///
+/// The signature matches real serde, so manual implementations in the
+/// workspace compile unchanged.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// The vendored serializer: a single entry point taking a finished
+/// [`Value`] tree, plus serde's `collect_str` convenience.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes a complete JSON value.
+    fn serialize_json_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes the `Display` text of a value (used by `Prefix`).
+    fn collect_str<T: Display + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_json_value(Value::String(value.to_string()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        crate::json::write_json(self, &mut out, None, 0);
+        f.write_str(&out)
+    }
+}

@@ -1,0 +1,664 @@
+//! Offline vendored subset of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` crate's JSON-value data model, without syn or quote: the
+//! input `TokenStream` is walked directly and the generated impl is built as
+//! a string and re-parsed.
+//!
+//! Supported shapes (exactly what the workspace uses):
+//! * named structs, with `#[serde(skip)]` fields (skipped on serialize,
+//!   `Default::default()` on deserialize) — `Option` fields tolerate a
+//!   missing key;
+//! * one-field tuple structs (newtype delegation; `#[serde(transparent)]`
+//!   has the same meaning);
+//! * enums with unit variants (as `"Name"`) and single-payload tuple
+//!   variants (as `{"Name": payload}`);
+//! * generic parameters with inline bounds (serialization bounds appended).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    /// Type/lifetime params with their declared bounds, in order.
+    params: Vec<Param>,
+    where_clause: String,
+    data: Data,
+}
+
+struct Param {
+    /// `K: Ord` or `T` or `'a`, verbatim.
+    decl: String,
+    /// Just `K` / `T` / `'a`.
+    name: String,
+    is_lifetime: bool,
+}
+
+enum Data {
+    NamedStruct {
+        fields: Vec<Field>,
+        transparent: bool,
+    },
+    TupleStruct {
+        /// Types of the tuple fields.
+        types: Vec<String>,
+    },
+    Enum {
+        variants: Vec<Variant>,
+    },
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    /// Payload type for single-field tuple variants.
+    payload: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Token walking
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_ident(&self) -> Option<String> {
+        match self.peek() {
+            Some(TokenTree::Ident(i)) => Some(i.to_string()),
+            _ => None,
+        }
+    }
+
+    fn peek_punct(&self) -> Option<char> {
+        match self.peek() {
+            Some(TokenTree::Punct(p)) => Some(p.as_char()),
+            _ => None,
+        }
+    }
+
+    /// Consumes leading attributes; returns true if any consumed `#[serde(..)]`
+    /// attribute contains `word` as a path segment.
+    fn take_attrs(&mut self, word: &str) -> bool {
+        let mut found = false;
+        while self.peek_punct() == Some('#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let text = g.stream().to_string();
+                    if text.starts_with("serde") && attr_has_word(&text, word) {
+                        found = true;
+                    }
+                }
+                other => panic!("expected attribute group, found {other:?}"),
+            }
+        }
+        found
+    }
+
+    fn skip_visibility(&mut self) {
+        if self.peek_ident().as_deref() == Some("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+/// Whether `serde ( a , b )` attribute text contains `word` as one element.
+fn attr_has_word(attr_text: &str, word: &str) -> bool {
+    attr_text
+        .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .any(|piece| piece == word)
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let stream: TokenStream = tokens.iter().cloned().collect();
+    stream.to_string()
+}
+
+/// Parses `<...>` generics (cursor positioned at `<`) into params.
+fn parse_generics(cur: &mut Cursor) -> Vec<Param> {
+    assert_eq!(cur.peek_punct(), Some('<'));
+    cur.next();
+    let mut depth = 1usize;
+    let mut pieces: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    while depth > 0 {
+        let tok = cur.next().expect("unterminated generics");
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                pieces.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        pieces.last_mut().expect("non-empty").push(tok);
+    }
+    pieces
+        .into_iter()
+        .filter(|p| !p.is_empty())
+        .map(|tokens| {
+            let is_lifetime =
+                matches!(&tokens[0], TokenTree::Punct(p) if p.as_char() == '\'');
+            let name = if is_lifetime {
+                format!("'{}", tokens[1])
+            } else {
+                tokens[0].to_string()
+            };
+            Param {
+                decl: tokens_to_string(&tokens),
+                name,
+                is_lifetime,
+            }
+        })
+        .collect()
+}
+
+/// Splits a brace/paren group's tokens at top-level commas.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth = 0usize;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        out.last_mut().expect("non-empty").push(tok);
+    }
+    out.retain(|p| !p.is_empty());
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut cur = Cursor {
+                tokens,
+                pos: 0,
+            };
+            let skip = cur.take_attrs("skip");
+            cur.skip_visibility();
+            let name = match cur.next() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            };
+            match cur.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                other => panic!("expected ':' after field name, found {other:?}"),
+            }
+            let ty = tokens_to_string(&cur.tokens[cur.pos..]);
+            let name = name.strip_prefix("r#").unwrap_or(&name).to_string();
+            Field { name, ty, skip }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<String> {
+    split_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut cur = Cursor {
+                tokens,
+                pos: 0,
+            };
+            cur.take_attrs("");
+            cur.skip_visibility();
+            tokens_to_string(&cur.tokens[cur.pos..])
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut cur = Cursor {
+                tokens,
+                pos: 0,
+            };
+            cur.take_attrs("");
+            let name = match cur.next() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let payload = match cur.next() {
+                None => None,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let types = parse_tuple_fields(g.stream());
+                    match types.len() {
+                        1 => Some(types.into_iter().next().expect("one payload")),
+                        n => panic!("variant `{name}`: {n}-field payloads unsupported"),
+                    }
+                }
+                other => panic!("variant `{name}`: unsupported shape {other:?}"),
+            };
+            Variant { name, payload }
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut cur = Cursor::new(input);
+    let transparent = cur.take_attrs("transparent");
+    cur.skip_visibility();
+    let kind = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    let params = if cur.peek_punct() == Some('<') {
+        parse_generics(&mut cur)
+    } else {
+        Vec::new()
+    };
+
+    // Tuple struct body comes before any where clause.
+    if kind == "struct" {
+        if let Some(TokenTree::Group(g)) = cur.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                let types = parse_tuple_fields(g.stream());
+                cur.next();
+                let where_clause = collect_where(&mut cur);
+                return Input {
+                    name,
+                    params,
+                    where_clause,
+                    data: Data::TupleStruct { types },
+                };
+            }
+        }
+    }
+
+    let where_clause = collect_where(&mut cur);
+    let body = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected braced body, found {other:?}"),
+    };
+    let data = if kind == "struct" {
+        Data::NamedStruct {
+            fields: parse_named_fields(body),
+            transparent,
+        }
+    } else {
+        Data::Enum {
+            variants: parse_variants(body),
+        }
+    };
+    Input {
+        name,
+        params,
+        where_clause,
+        data,
+    }
+}
+
+/// Collects a `where ...` clause (if present) up to the body or `;`.
+fn collect_where(cur: &mut Cursor) -> String {
+    if cur.peek_ident().as_deref() != Some("where") {
+        return String::new();
+    }
+    let start = cur.pos;
+    while let Some(tok) = cur.peek() {
+        match tok {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => {
+                cur.pos += 1;
+            }
+        }
+    }
+    tokens_to_string(&cur.tokens[start..cur.pos])
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+/// `impl<...>` generics with `extra` bound appended to every type param,
+/// plus the bare type arguments for the self type.
+fn impl_pieces(input: &Input, extra_bound: &str, extra_lifetime: Option<&str>) -> (String, String) {
+    let mut decls: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        decls.push(lt.to_string());
+    }
+    let mut args: Vec<String> = Vec::new();
+    for p in &input.params {
+        if p.is_lifetime {
+            decls.push(p.decl.clone());
+        } else if p.decl.contains(':') {
+            decls.push(format!("{} + {}", p.decl, extra_bound));
+        } else {
+            decls.push(format!("{}: {}", p.decl, extra_bound));
+        }
+        args.push(p.name.clone());
+    }
+    let impl_generics = if decls.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", decls.join(", "))
+    };
+    let type_args = if args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", args.join(", "))
+    };
+    (impl_generics, type_args)
+}
+
+const SER_BOUND: &str = "::serde::Serialize";
+const DE_BOUND: &str = "for<'serde_de> ::serde::Deserialize<'serde_de>";
+
+fn ser_err() -> &'static str {
+    "<S::Error as ::serde::ser::Error>::custom"
+}
+
+fn de_err() -> &'static str {
+    "<D::Error as ::serde::de::Error>::custom"
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (impl_generics, type_args) = impl_pieces(input, SER_BOUND, None);
+    let name = &input.name;
+    let where_clause = &input.where_clause;
+    let body = match &input.data {
+        Data::TupleStruct { types } => {
+            assert_eq!(
+                types.len(),
+                1,
+                "`{name}`: only one-field tuple structs are supported"
+            );
+            "::serde::Serialize::serialize(&self.0, serializer)".to_string()
+        }
+        Data::NamedStruct {
+            fields,
+            transparent,
+        } => {
+            if *transparent {
+                let real: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                assert_eq!(real.len(), 1, "`{name}`: transparent needs one field");
+                format!(
+                    "::serde::Serialize::serialize(&self.{}, serializer)",
+                    real[0].name
+                )
+            } else {
+                let mut out = String::from(
+                    "let mut fields: ::std::vec::Vec<(::std::string::String, \
+                     ::serde::json::Value)> = ::std::vec::Vec::new();\n",
+                );
+                for f in fields.iter().filter(|f| !f.skip) {
+                    out.push_str(&format!(
+                        "fields.push((\"{fname}\".to_string(), \
+                         ::serde::json::to_value(&self.{fname}).map_err({err})?));\n",
+                        fname = f.name,
+                        err = ser_err(),
+                    ));
+                }
+                out.push_str(
+                    "serializer.serialize_json_value(::serde::json::Value::Object(fields))",
+                );
+                out
+            }
+        }
+        Data::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.payload {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => serializer.serialize_json_value(\
+                         ::serde::json::Value::String(\"{v}\".to_string())),\n",
+                        v = v.name,
+                    )),
+                    Some(_) => arms.push_str(&format!(
+                        "{name}::{v}(inner) => {{\n\
+                         let payload = ::serde::json::to_value(inner).map_err({err})?;\n\
+                         serializer.serialize_json_value(::serde::json::Value::Object(\
+                         vec![(\"{v}\".to_string(), payload)]))\n}}\n",
+                        v = v.name,
+                        err = ser_err(),
+                    )),
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{type_args} {where_clause} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+         -> ::std::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (impl_generics, type_args) = impl_pieces(input, DE_BOUND, Some("'de"));
+    let name = &input.name;
+    let where_clause = &input.where_clause;
+    let body = match &input.data {
+        Data::TupleStruct { types } => {
+            assert_eq!(
+                types.len(),
+                1,
+                "`{name}`: only one-field tuple structs are supported"
+            );
+            format!("::serde::Deserialize::deserialize(deserializer).map({name})")
+        }
+        Data::NamedStruct {
+            fields,
+            transparent,
+        } => {
+            if *transparent {
+                let real: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                assert_eq!(real.len(), 1, "`{name}`: transparent needs one field");
+                let mut ctor = format!(
+                    "{}: ::serde::Deserialize::deserialize(deserializer)?,\n",
+                    real[0].name
+                );
+                for f in fields.iter().filter(|f| f.skip) {
+                    ctor.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                }
+                format!("::std::result::Result::Ok({name} {{\n{ctor}}})")
+            } else {
+                let mut out = String::from(
+                    "let object = deserializer.take_json_value()?\
+                     .into_object().map_err(",
+                );
+                out.push_str(de_err());
+                out.push_str(")?;\n");
+                for f in fields.iter().filter(|f| !f.skip) {
+                    out.push_str(&format!(
+                        "let mut field_{}: ::std::option::Option<{}> = \
+                         ::std::option::Option::None;\n",
+                        f.name, f.ty
+                    ));
+                }
+                out.push_str("for (key, value) in object {\nmatch key.as_str() {\n");
+                for f in fields.iter().filter(|f| !f.skip) {
+                    out.push_str(&format!(
+                        "\"{fname}\" => {{ field_{fname} = ::std::option::Option::Some(\
+                         ::serde::json::from_value(value).map_err({err})?); }}\n",
+                        fname = f.name,
+                        err = de_err(),
+                    ));
+                }
+                // Unknown fields are ignored, like serde's default.
+                out.push_str("_ => {}\n}\n}\n");
+                out.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+                for f in fields {
+                    if f.skip {
+                        out.push_str(&format!(
+                            "{}: ::core::default::Default::default(),\n",
+                            f.name
+                        ));
+                    } else if is_option_type(&f.ty) {
+                        // Missing optional field deserializes as None.
+                        out.push_str(&format!(
+                            "{fname}: field_{fname}.unwrap_or_default(),\n",
+                            fname = f.name
+                        ));
+                    } else {
+                        out.push_str(&format!(
+                            "{fname}: match field_{fname} {{\n\
+                             ::std::option::Option::Some(v) => v,\n\
+                             ::std::option::Option::None => return \
+                             ::std::result::Result::Err({err}(\
+                             \"missing field `{fname}`\")),\n}},\n",
+                            fname = f.name,
+                            err = de_err(),
+                        ));
+                    }
+                }
+                out.push_str("})");
+                out
+            }
+        }
+        Data::Enum { variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                match &v.payload {
+                    None => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    Some(ty) => payload_arms.push_str(&format!(
+                        "\"{v}\" => {{\nlet inner: {ty} = \
+                         ::serde::json::from_value(value).map_err({err})?;\n\
+                         ::std::result::Result::Ok({name}::{v}(inner))\n}}\n",
+                        v = v.name,
+                        err = de_err(),
+                    )),
+                }
+            }
+            let mut out = String::from(
+                "let value = deserializer.take_json_value()?;\nmatch value {\n",
+            );
+            out.push_str(&format!(
+                "::serde::json::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err({err}(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n}},\n",
+                err = de_err(),
+            ));
+            if !payload_arms.is_empty() {
+                out.push_str(&format!(
+                    "::serde::json::Value::Object(fields) => {{\n\
+                     let mut iter = fields.into_iter();\n\
+                     match (iter.next(), iter.next()) {{\n\
+                     (::std::option::Option::Some((key, value)), \
+                     ::std::option::Option::None) => match key.as_str() {{\n{payload_arms}\
+                     other => ::std::result::Result::Err({err}(format!(\
+                     \"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                     _ => ::std::result::Result::Err({err}(\
+                     \"expected single-key object for {name} variant\")),\n}}\n}},\n",
+                    err = de_err(),
+                ));
+            }
+            out.push_str(&format!(
+                "other => ::std::result::Result::Err({err}(format!(\
+                 \"invalid value kind {{}} for {name}\", other.kind()))),\n}}",
+                err = de_err(),
+            ));
+            out
+        }
+    };
+    format!(
+        "impl<'de{sep}{inner}> ::serde::Deserialize<'de> for {name}{type_args} {where_clause} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+         -> ::std::result::Result<Self, D::Error> {{\n{body}\n}}\n}}\n",
+        sep = if impl_generics_inner(&impl_generics).is_empty() {
+            ""
+        } else {
+            ", "
+        },
+        inner = impl_generics_inner(&impl_generics),
+    )
+}
+
+/// Strips the outer `<'de, ...>` added by [`impl_pieces`] back to its inner
+/// list minus the leading `'de`, so `gen_deserialize` can re-wrap it.
+fn impl_generics_inner(impl_generics: &str) -> &str {
+    let inner = impl_generics
+        .strip_prefix('<')
+        .and_then(|s| s.strip_suffix('>'))
+        .unwrap_or("");
+    let inner = inner.strip_prefix("'de").unwrap_or(inner);
+    inner.strip_prefix(", ").unwrap_or(inner).trim()
+}
+
+fn is_option_type(ty: &str) -> bool {
+    let t = ty.trim_start();
+    t.starts_with("Option")
+        || t.starts_with("std :: option :: Option")
+        || t.starts_with("core :: option :: Option")
+        || t.starts_with(":: std :: option :: Option")
+        || t.starts_with(":: core :: option :: Option")
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = gen_serialize(&parsed);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid code: {e}\n{code}"))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = gen_deserialize(&parsed);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid code: {e}\n{code}"))
+}

@@ -1,0 +1,69 @@
+//! Offline vendored subset of the `serde_json` API.
+//!
+//! Thin façade over the vendored `serde` crate's JSON value tree: the
+//! workspace uses only [`to_string`], [`to_string_pretty`], and
+//! [`from_str`], with [`Error`] implementing `std::error::Error`.
+
+use serde::json::{parse, to_value, Value};
+use std::fmt;
+
+/// A JSON serialization or deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            message: msg.to_string(),
+        }
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            message: msg.to_string(),
+        }
+    }
+}
+
+/// A `Result` alias with [`Error`] plugged in.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let tree = to_value(value).map_err(|message| Error { message })?;
+    let mut out = String::new();
+    serde::json::write_json(&tree, &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed JSON string (two-space indent,
+/// matching real serde_json).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let tree = to_value(value).map_err(|message| Error { message })?;
+    let mut out = String::new();
+    serde::json::write_json(&tree, &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(text: &str) -> Result<T> {
+    let tree = parse(text).map_err(|message| Error { message })?;
+    serde::json::from_value(tree).map_err(|message| Error { message })
+}
+
+/// Deserializes a value from an already-parsed [`Value`].
+pub fn from_value<T: for<'de> serde::Deserialize<'de>>(value: Value) -> Result<T> {
+    serde::json::from_value(value).map_err(|message| Error { message })
+}
