@@ -47,7 +47,11 @@ type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 pub struct RelQueryCache<'a> {
     rels: &'a AsRelationships,
     cones: &'a CustomerCones,
+    // detlint::allow(unordered-collection): memo table probed by key only;
+    // nothing ever iterates it, so storage order cannot reach any output
     sizes: FnvMap<Asn, usize>,
+    // detlint::allow(unordered-collection): memo table probed by key only;
+    // nothing ever iterates it, so storage order cannot reach any output
     related: FnvMap<(Asn, Asn), bool>,
 }
 

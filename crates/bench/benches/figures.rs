@@ -10,7 +10,7 @@ fn bench_table3(c: &mut Criterion) {
     let st = stats::corpus_stats(&fx.scenario, &fx.bundle);
     println!("\n{}", st.render());
     c.bench_function("table3_link_labels", |b| {
-        b.iter(|| stats::corpus_stats(&fx.scenario, &fx.bundle))
+        b.iter(|| stats::corpus_stats(&fx.scenario, &fx.bundle));
     });
 }
 
@@ -19,7 +19,7 @@ fn bench_fig15(c: &mut Criterion) {
     let fig = single_vp::fig15(&fx.scenario, 15);
     println!("\n{}", fig.render());
     c.bench_function("fig15_single_vp", |b| {
-        b.iter(|| single_vp::fig15(&fx.scenario, 15))
+        b.iter(|| single_vp::fig15(&fx.scenario, 15));
     });
 }
 
@@ -28,7 +28,7 @@ fn bench_fig16_17(c: &mut Criterion) {
     let wide = internet_wide::run(&fx.scenario, 8, 22);
     println!("\n{}", wide.render());
     c.bench_function("fig16_internet_wide", |b| {
-        b.iter(|| internet_wide::run(&fx.scenario, 8, 22))
+        b.iter(|| internet_wide::run(&fx.scenario, 8, 22));
     });
 }
 
@@ -39,7 +39,7 @@ fn bench_fig18_19(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig18_vary_vps");
     g.sample_size(10);
     g.bench_function("sweep", |b| {
-        b.iter(|| vps::sweep(&fx.scenario, &[3, 6, 9], 2, 7))
+        b.iter(|| vps::sweep(&fx.scenario, &[3, 6, 9], 2, 7));
     });
     g.finish();
 }
@@ -51,7 +51,7 @@ fn bench_fig20(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig20_alias_impact");
     g.sample_size(10);
     g.bench_function("midar_vs_kapar", |b| {
-        b.iter(|| aliases::fig20(&fx.scenario, 8, 31))
+        b.iter(|| aliases::fig20(&fx.scenario, 8, 31));
     });
     g.finish();
 }
@@ -63,7 +63,7 @@ fn bench_ablations(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
     g.bench_function("all_variants", |b| {
-        b.iter(|| heuristics::ablation(&fx.scenario, 6, 17))
+        b.iter(|| heuristics::ablation(&fx.scenario, 6, 17));
     });
     g.finish();
 }

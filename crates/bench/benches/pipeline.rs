@@ -24,7 +24,7 @@ fn bench_phases(c: &mut Criterion) {
                 &s.rels,
                 &cones,
             )
-        })
+        });
     });
 
     let graph = IrGraph::build(
@@ -40,7 +40,7 @@ fn bench_phases(c: &mut Criterion) {
             let mut state = AnnotationState::new(&graph);
             bdrmapit_core::lasthop::annotate_last_hops(&graph, &s.rels, &cones, &mut state);
             state
-        })
+        });
     });
     g.bench_function("phase3_refinement", |b| {
         b.iter(|| {
@@ -48,7 +48,7 @@ fn bench_phases(c: &mut Criterion) {
             bdrmapit_core::lasthop::annotate_last_hops(&graph, &s.rels, &cones, &mut state);
             bdrmapit_core::refine::refine(&graph, &s.rels, &cones, &cfg, &mut state);
             state
-        })
+        });
     });
     g.finish();
 }
@@ -85,7 +85,7 @@ fn bench_refine_threads(c: &mut Criterion) {
                 let mut state = annotated.clone();
                 bdrmapit_core::refine::refine(&graph, &s.rels, &cones, cfg, &mut state);
                 state
-            })
+            });
         });
     }
     g.finish();
@@ -115,7 +115,7 @@ fn bench_full_algorithm(c: &mut Criterion) {
                     &fx.scenario.ip2as,
                     &fx.scenario.rels,
                 )
-            })
+            });
         });
     }
     g.finish();
@@ -129,7 +129,7 @@ fn bench_baselines(c: &mut Criterion) {
             let mut m = mapit::Mapit::build(&fx.bundle.traces, &fx.scenario.ip2as);
             m.run(&mapit::MapitConfig::default());
             m.links()
-        })
+        });
     });
     let target = fx.scenario.validation.large_access;
     let single = fx.scenario.single_vp_campaign(target, 3);
@@ -142,7 +142,7 @@ fn bench_baselines(c: &mut Criterion) {
                 &fx.scenario.rels,
                 Some(target),
             )
-        })
+        });
     });
     g.finish();
 }

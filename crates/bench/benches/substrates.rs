@@ -30,7 +30,7 @@ fn bench_trie(c: &mut Criterion) {
                 }
             }
             hits
-        })
+        });
     });
     g.finish();
 }
@@ -50,7 +50,7 @@ fn bench_routing(c: &mut Criterion) {
             let dst = stubs[i % stubs.len()];
             i += 1;
             routing.tree(dst)
-        })
+        });
     });
 }
 
@@ -67,7 +67,7 @@ fn bench_traceroute_sim(c: &mut Criterion) {
                 .iter()
                 .map(|&d| trace_one(&net, vps[0], d, &cfg).responsive_count())
                 .sum::<usize>()
-        })
+        });
     });
     g.finish();
 }
@@ -79,7 +79,7 @@ fn bench_rel_inference(c: &mut Criterion) {
     c.bench_function("as_relationship_inference", |b| {
         b.iter(|| {
             as_rel::infer::infer_relationships(&paths, &as_rel::infer::InferenceConfig::default())
-        })
+        });
     });
 }
 
@@ -88,10 +88,10 @@ fn bench_alias(c: &mut Criterion) {
     let observed = alias::observed_addresses(&fx.bundle.traces);
     let mut g = c.benchmark_group("alias_resolution");
     g.bench_function("midar_style", |b| {
-        b.iter(|| alias::resolve_midar(&fx.scenario.net, &observed, 0.9, 7))
+        b.iter(|| alias::resolve_midar(&fx.scenario.net, &observed, 0.9, 7));
     });
     g.bench_function("kapar_style", |b| {
-        b.iter(|| alias::resolve_kapar(&fx.bundle.traces, &fx.bundle.aliases))
+        b.iter(|| alias::resolve_kapar(&fx.bundle.traces, &fx.bundle.aliases));
     });
     g.finish();
 }

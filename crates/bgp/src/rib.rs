@@ -45,10 +45,7 @@ impl Rib {
 
     /// All announcements for one prefix.
     pub fn announcements(&self, prefix: Prefix) -> &[Announcement] {
-        self.by_prefix
-            .get(&prefix)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_prefix.get(&prefix).map_or(&[], Vec::as_slice)
     }
 
     /// Iterates over every announced prefix in ascending order.

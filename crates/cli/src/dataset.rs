@@ -195,7 +195,9 @@ pub fn infer_from_bundle(dir: &Path, threads: usize) -> io::Result<String> {
     if let Ok(text) = fs::read_to_string(dir.join(files::TRUTH)) {
         let truth: GroundTruth = serde_json::from_str(&text).map_err(io::Error::other)?;
         let truth_pairs: BTreeSet<(Asn, Asn)> = truth.pairs.iter().copied().collect();
-        let owner_of: std::collections::HashMap<u32, Asn> = truth.owners.iter().copied().collect();
+        // BTreeMap rather than HashMap: the scoring path is not hot, and a
+        // sorted map keeps every traversal of truth data deterministic.
+        let owner_of: std::collections::BTreeMap<u32, Asn> = truth.owners.iter().copied().collect();
         let inferred: BTreeSet<(Asn, Asn)> = result
             .interdomain_links()
             .iter()

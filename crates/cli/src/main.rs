@@ -1,5 +1,7 @@
 //! The `bdrmapit` binary.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -87,6 +87,9 @@ pub struct IrGraph {
     /// prior (drives interface-annotation voting, §6.2).
     pub preds: Vec<BTreeMap<IrId, BTreeSet<IfIdx>>>,
     /// Address → interface index.
+    // detlint::allow(unordered-collection): per-hop lookup table on the hot
+    // build path, queried by key only and never iterated; interface order
+    // comes from the sorted `observed` set, not from this map
     pub addr_index: HashMap<u32, IfIdx>,
     /// Annotation-dependency shards (link-connected components) with their
     /// wavefront levels, precomputed for the refinement engine.

@@ -143,6 +143,12 @@ pub struct AnnotationState {
     pub iface: Vec<Asn>,
     /// Refinement iterations executed.
     pub iterations: usize,
+    /// Per-shard convergence hash traces, indexed by the shard's position in
+    /// the [`ShardPlan`](refine::shard::ShardPlan): `[h_0, h_1, ..., h_n]`,
+    /// the shard-state hash before refinement and after each iteration.
+    /// Part of the determinism contract — serial and parallel runs must
+    /// produce identical traces, not merely identical fixpoints.
+    pub convergence_traces: Vec<Vec<u64>>,
 }
 
 impl AnnotationState {
@@ -154,6 +160,7 @@ impl AnnotationState {
             frozen: vec![false; graph.irs.len()],
             iface: graph.iface_origin.iter().map(|o| o.asn).collect(),
             iterations: 0,
+            convergence_traces: Vec::new(),
         }
     }
 }

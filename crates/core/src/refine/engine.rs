@@ -74,26 +74,23 @@ pub fn refine(
     let plan = &graph.shards;
     let cells = SweepCells::new(state);
     let threads = effective_threads(cfg, plan);
-    let iterations = if threads <= 1 {
+    let (iterations, traces) = if threads <= 1 {
         let mut ctx = SweepCtx::new(graph, cfg, rels, cones);
         let mut iterations = 0;
+        let mut traces = Vec::with_capacity(plan.shards.len());
         for shard in &plan.shards {
-            iterations = iterations.max(parallel::converge_shard(
-                shard,
-                &cells,
-                &mut ctx,
-                cfg.max_iterations,
-                0,
-                1,
-                None,
-            ));
+            let run =
+                parallel::converge_shard(shard, &cells, &mut ctx, cfg.max_iterations, 0, 1, None);
+            iterations = iterations.max(run.iterations);
+            traces.push(run.trace);
         }
-        iterations
+        (iterations, traces)
     } else {
         parallel::refine_parallel(graph, plan, &cells, rels, cones, cfg, threads)
     };
     cells.write_back(state);
     state.iterations = iterations;
+    state.convergence_traces = traces;
 }
 
 /// Resolves [`Config::threads`] against the machine and the shard plan,

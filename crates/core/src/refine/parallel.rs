@@ -35,6 +35,7 @@ use as_rel::{AsRelationships, CustomerCones, RelQueryCache};
 use net_types::Asn;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Mid-path population below which a shard is not worth lockstep scheduling
 /// and is instead handed to a single worker.
@@ -162,6 +163,21 @@ fn sync(barrier: Option<&SpinBarrier>) {
     }
 }
 
+/// What one shard's convergence run produced: the iteration count and the
+/// full convergence hash trace (pre-sweep state hash, then one hash per
+/// iteration). The trace is part of the determinism contract: serial and
+/// parallel execution must produce identical traces, not merely identical
+/// fixpoints, so an ordering bug that happens to converge to the right
+/// answer still shows up.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct ShardRun {
+    /// Iterations executed before the first repeated state (or the cap).
+    pub iterations: usize,
+    /// `[h_0, h_1, ..., h_n]`: shard-state hash before refinement and after
+    /// each iteration.
+    pub trace: Vec<u64>,
+}
+
 /// Runs one shard to convergence (§6.3 applied shard-locally): sweep
 /// routers level by level, sweep interfaces, and stop at the first repeated
 /// shard state, with `max_iterations` as the backstop.
@@ -172,7 +188,8 @@ fn sync(barrier: Option<&SpinBarrier>) {
 /// with a distinct `worker` index) the per-level chunks partition each
 /// wavefront and every participant returns the same iteration count. All
 /// workers hash the whole shard redundantly, so their stop decisions agree
-/// without communicating.
+/// without communicating — and every participant computes the identical
+/// [`ShardRun::trace`].
 pub(crate) fn converge_shard(
     shard: &Shard,
     cells: &SweepCells,
@@ -181,9 +198,14 @@ pub(crate) fn converge_shard(
     worker: usize,
     workers: usize,
     barrier: Option<&SpinBarrier>,
-) -> usize {
+) -> ShardRun {
+    // detlint::allow(unordered-collection): membership-only duplicate
+    // detector for convergence hashes; never iterated, so storage order
+    // cannot influence when the loop stops
     let mut seen: HashSet<u64> = HashSet::new();
-    seen.insert(shard_hash(shard, cells));
+    let h0 = shard_hash(shard, cells);
+    seen.insert(h0);
+    let mut trace = vec![h0];
     let mut iterations = 0;
     for i in 0..max_iterations {
         // Snapshot this shard's mid-path annotations (only those can have
@@ -220,6 +242,7 @@ pub(crate) fn converge_shard(
         sync(barrier);
         let h = shard_hash(shard, cells);
         iterations = i + 1;
+        trace.push(h);
         let repeated = !seen.insert(h);
         // Everyone must finish reading the state for the hash before the
         // next iteration starts overwriting it.
@@ -228,12 +251,14 @@ pub(crate) fn converge_shard(
             break;
         }
     }
-    iterations
+    ShardRun { iterations, trace }
 }
 
 /// Runs the whole plan on `threads` workers (crossbeam scoped threads; the
 /// calling thread doubles as worker 0). Returns the maximum per-shard
-/// iteration count.
+/// iteration count plus the convergence hash trace of every shard, indexed
+/// by the shard's position in `plan.shards` — the same order the serial
+/// engine visits them, so the two paths yield comparable trace vectors.
 pub(crate) fn refine_parallel(
     graph: &IrGraph,
     plan: &ShardPlan,
@@ -242,19 +267,27 @@ pub(crate) fn refine_parallel(
     cones: &CustomerCones,
     cfg: &Config,
     threads: usize,
-) -> usize {
-    let (big, small): (Vec<&Shard>, Vec<&Shard>) = plan
+) -> (usize, Vec<Vec<u64>>) {
+    // A shard tagged with its index in `plan.shards`, which survives the
+    // big/small partition so traces land in plan order.
+    type Indexed<'a> = Vec<(usize, &'a Shard)>;
+    let (big, small): (Indexed, Indexed) = plan
         .shards
         .iter()
-        .partition(|s| s.mid_path.len() >= LOCKSTEP_MIN_MID_PATH);
+        .enumerate()
+        .partition(|(_, s)| s.mid_path.len() >= LOCKSTEP_MIN_MID_PATH);
     let barrier = SpinBarrier::new(threads);
     let max_iterations = AtomicUsize::new(0);
+    // One slot per shard, written exactly once: by worker 0 for lockstep
+    // shards (all participants compute the identical trace) and by the
+    // round-robin owner for solo shards.
+    let traces: Vec<Mutex<Vec<u64>>> = plan.shards.iter().map(|_| Mutex::new(Vec::new())).collect();
     let worker = |w: usize| {
         let mut ctx = SweepCtx::new(graph, cfg, rels, cones);
         let mut local = 0usize;
         // Big shards: every worker, lockstep.
-        for shard in &big {
-            local = local.max(converge_shard(
+        for &(idx, shard) in &big {
+            let run = converge_shard(
                 shard,
                 cells,
                 &mut ctx,
@@ -262,20 +295,18 @@ pub(crate) fn refine_parallel(
                 w,
                 threads,
                 Some(&barrier),
-            ));
+            );
+            local = local.max(run.iterations);
+            if w == 0 {
+                *traces[idx].lock().unwrap() = run.trace;
+            }
         }
         // Small shards: dealt round-robin, each converged solo.
-        for (k, shard) in small.iter().enumerate() {
+        for (k, &(idx, shard)) in small.iter().enumerate() {
             if k % threads == w {
-                local = local.max(converge_shard(
-                    shard,
-                    cells,
-                    &mut ctx,
-                    cfg.max_iterations,
-                    0,
-                    1,
-                    None,
-                ));
+                let run = converge_shard(shard, cells, &mut ctx, cfg.max_iterations, 0, 1, None);
+                local = local.max(run.iterations);
+                *traces[idx].lock().unwrap() = run.trace;
             }
         }
         max_iterations.fetch_max(local, Ordering::SeqCst);
@@ -288,7 +319,11 @@ pub(crate) fn refine_parallel(
         worker(0);
     })
     .expect("refinement worker panicked");
-    max_iterations.load(Ordering::SeqCst)
+    let traces = traces
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect();
+    (max_iterations.load(Ordering::SeqCst), traces)
 }
 
 /// A sense-reversing spin barrier.

@@ -118,7 +118,7 @@ fn elect(v: &Counter<Asn>, allowed: &BTreeSet<Asn>, cache: &mut RelQueryCache<'_
             best = Some((count, cand));
         }
     }
-    best.map(|(_, a)| a).unwrap_or(Asn::NONE)
+    best.map_or(Asn::NONE, |(_, a)| a)
 }
 
 #[cfg(test)]

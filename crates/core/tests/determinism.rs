@@ -106,6 +106,20 @@ proptest! {
                 threads
             );
             prop_assert_eq!(serial.state.iterations, parallel.state.iterations);
+            // Stronger than fixpoint equality: the per-shard convergence
+            // hash traces must match step for step, so an ordering bug that
+            // happens to converge to the same answer still fails here.
+            prop_assert_eq!(
+                &serial.state.convergence_traces,
+                &parallel.state.convergence_traces,
+                "convergence traces diverged at threads={}",
+                threads
+            );
+            prop_assert!(
+                !serial.state.convergence_traces.is_empty()
+                    || serial.graph.shards.shards.is_empty(),
+                "traces missing despite a non-empty shard plan"
+            );
         }
     }
 

@@ -1,0 +1,46 @@
+//! **detlint**: the workspace determinism/ordering static-analysis pass.
+//!
+//! The refinement engine guarantees bit-identical output for every
+//! `Config::threads` value, and the whole pipeline promises run-to-run
+//! reproducibility (same inputs → same annotations, same convergence hash
+//! trace). That contract is easy to break silently: one `for` loop over a
+//! `HashMap`, one `DefaultHasher`, one stray `thread::spawn`, one float
+//! tally that sums in scheduling order — and outputs start differing across
+//! runs, platforms, or shard plans while every test still passes. The
+//! dynamic determinism suite (`crates/core/tests/determinism.rs`) samples a
+//! tiny corner of the input space; detlint checks the *source* of every
+//! code path at CI time.
+//!
+//! Rules (see DESIGN.md §9 for the threat model):
+//!
+//! | rule | hazard |
+//! |------|--------|
+//! | `unordered-collection` | binding a `HashMap`/`HashSet` (or an alias of one) |
+//! | `unordered-iter` | iterating a hash collection (`for`, `.iter()`, `.keys()`, `.values()`, `.drain()`, …) |
+//! | `nondet-source` | `DefaultHasher`, `RandomState`, `thread_rng`, `rand::random`, `SystemTime::now`, `Instant::now` |
+//! | `unscoped-thread` | `thread::spawn` / `rayon` / `crossbeam` outside `refine/parallel.rs` |
+//! | `float-accum` | `+=`/`-=` float accumulation under `refine/` and `crates/eval/` |
+//! | `missing-forbid-unsafe` | crate root without `#![forbid(unsafe_code)]` |
+//! | `invalid-allow` | malformed `detlint::allow` annotation |
+//!
+//! A benign site is silenced with a justification that lives next to the
+//! code — for example `// detlint::allow(unordered-iter): membership test
+//! only, order never observed` — on the offending line or the line above.
+//! Annotations without a reason, or naming unknown rules, are themselves
+//! findings, and `invalid-allow` can never be silenced.
+//!
+//! detlint is deliberately dependency-free (the workspace vendors its
+//! dependency graph and carries no `syn`): a hand-rolled lexer strips
+//! comments, strings, and lifetimes, and the rules are token-stream
+//! heuristics with file-local name tracking. They over-approximate; that is
+//! what the allow annotation is for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::{analyze_workspace, collect_rs_files, find_workspace_root, Report};
+pub use rules::{analyze_source, FileAnalysis, Finding, KNOWN_RULES};

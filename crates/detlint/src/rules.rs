@@ -1,0 +1,576 @@
+//! The determinism rules and the per-file analysis driver.
+//!
+//! Every rule is a token-stream heuristic, deliberately file-local: detlint
+//! has no type information, so it tracks names bound to hash-ordered
+//! collections (including in-file `type` aliases of them) and names bound to
+//! floats, then pattern-matches the operations the determinism contract
+//! cares about. The heuristics over-approximate — that is the point of a
+//! gate — and every benign site is silenced with an explicit
+//! `detlint::allow` annotation (rule list, then `: reason`) on or above the
+//! offending line, so the justification lives next to the code it excuses.
+
+use crate::lexer::{lex, AllowSite, TokKind};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule identifiers. Keep in sync with [`KNOWN_RULES`] and DESIGN.md §9.
+pub const RULE_UNORDERED_ITER: &str = "unordered-iter";
+/// Declaration/binding of an unordered hash collection.
+pub const RULE_UNORDERED_COLLECTION: &str = "unordered-collection";
+/// Use of a nondeterministic value source.
+pub const RULE_NONDET_SOURCE: &str = "nondet-source";
+/// Thread creation outside the refinement engine's scoped pool.
+pub const RULE_UNSCOPED_THREAD: &str = "unscoped-thread";
+/// Float accumulation in vote-tally / metric paths.
+pub const RULE_FLOAT_ACCUM: &str = "float-accum";
+/// Crate root missing `#![forbid(unsafe_code)]`.
+pub const RULE_MISSING_FORBID_UNSAFE: &str = "missing-forbid-unsafe";
+/// Malformed or unknown `detlint::allow` annotation.
+pub const RULE_INVALID_ALLOW: &str = "invalid-allow";
+
+/// All valid rule names (what `detlint::allow` may reference).
+pub const KNOWN_RULES: &[&str] = &[
+    RULE_UNORDERED_ITER,
+    RULE_UNORDERED_COLLECTION,
+    RULE_NONDET_SOURCE,
+    RULE_UNSCOPED_THREAD,
+    RULE_FLOAT_ACCUM,
+    RULE_MISSING_FORBID_UNSAFE,
+    RULE_INVALID_ALLOW,
+];
+
+/// Hash-ordered collection type names (iteration order is unspecified).
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods that iterate a collection in storage order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Identifiers that are nondeterministic value sources wherever they appear.
+const NONDET_IDENTS: &[&str] = &["DefaultHasher", "RandomState", "thread_rng"];
+
+/// `Type::now()` clock reads flagged as nondeterministic sources.
+const CLOCK_TYPES: &[&str] = &["SystemTime", "Instant"];
+
+/// The only file allowed to create threads (the refinement engine's pool).
+const THREAD_EXEMPT_SUFFIX: &str = "refine/parallel.rs";
+
+/// One diagnostic.
+#[derive(Clone, Debug, Serialize)]
+pub struct Finding {
+    /// Rule identifier.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the hazard.
+    pub message: String,
+    /// The trimmed source line.
+    pub snippet: String,
+    /// Justification from a matching `detlint::allow`, if any.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub allowed: Option<String>,
+}
+
+/// Analysis result for one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileAnalysis {
+    /// Every finding, including allowed ones.
+    pub findings: Vec<Finding>,
+}
+
+impl FileAnalysis {
+    /// Findings not silenced by an allow annotation.
+    pub fn unallowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_none())
+    }
+}
+
+/// True for files that are crate roots (where `#![forbid(unsafe_code)]`
+/// must appear).
+pub fn is_crate_root(rel_path: &str) -> bool {
+    rel_path.ends_with("src/lib.rs") || rel_path.ends_with("src/main.rs")
+}
+
+/// True for paths the float-accumulation rule covers: refinement vote
+/// tallies and evaluation metrics.
+fn float_rule_applies(rel_path: &str) -> bool {
+    rel_path.contains("/refine/") || rel_path.contains("crates/eval/")
+}
+
+/// Analyzes one file. `rel_path` is the workspace-relative path (forward
+/// slashes); it scopes the path-dependent rules, so fixture tests can pass
+/// a logical path independent of where the fixture lives on disk.
+pub fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
+    let (toks, allows) = lex(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+
+    // Map each allow annotation to the lines it covers: its own line (for a
+    // trailing comment) plus the line of the first token after it (for a
+    // comment-above annotation).
+    let mut allow_cover: Vec<(BTreeSet<u32>, &AllowSite)> = Vec::new();
+    for a in &allows {
+        let mut covered = BTreeSet::new();
+        covered.insert(a.line);
+        if let Some(t) = toks.iter().find(|t| t.line > a.line) {
+            covered.insert(t.line);
+        }
+        allow_cover.push((covered, a));
+    }
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut push = |rule: &str, tok_line: u32, tok_col: u32, message: String| {
+        raw.push(Finding {
+            rule: rule.to_string(),
+            file: rel_path.to_string(),
+            line: tok_line,
+            col: tok_col,
+            message,
+            snippet: snippet(tok_line),
+            allowed: None,
+        });
+    };
+
+    // ---- pass 1: in-file aliases of hash types --------------------------
+    let mut hash_names: BTreeSet<String> = HASH_TYPES.iter().map(|s| (*s).to_string()).collect();
+    loop {
+        let before = hash_names.len();
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].is_ident("type")
+                && matches!(toks.get(i + 1), Some(t) if t.kind == TokKind::Ident)
+            {
+                let name = toks[i + 1].text.clone();
+                let mut j = i + 2;
+                let mut refers = false;
+                while j < toks.len() && !toks[j].is_punct(";") {
+                    if toks[j].kind == TokKind::Ident && hash_names.contains(&toks[j].text) {
+                        refers = true;
+                    }
+                    j += 1;
+                }
+                if refers {
+                    hash_names.insert(name);
+                }
+                i = j;
+            }
+            i += 1;
+        }
+        if hash_names.len() == before {
+            break;
+        }
+    }
+
+    // ---- pass 2: names bound to hash collections / floats ---------------
+    // decl site: var name -> (line, col, type name) of the first hash-type
+    // token that bound it (deduplicated per name: a struct field and its
+    // literal initialization are one variable).
+    let mut hash_vars: BTreeMap<String, (u32, u32, String)> = BTreeMap::new();
+    let mut float_vars: BTreeSet<String> = BTreeSet::new();
+
+    // (a) `name: Type` ascriptions (fields, params, lets, statics).
+    for i in 1..toks.len() {
+        if !toks[i].is_punct(":") {
+            continue;
+        }
+        let name_tok = &toks[i - 1];
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        let mut depth: i32 = 0;
+        let mut j = i + 1;
+        while j < toks.len() && j - i < 64 {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    "<<" => depth += 2,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    ";" | "=" | "{" => break,
+                    "," | ")" | "|" if depth <= 0 => break,
+                    _ => {}
+                }
+            }
+            if t.kind == TokKind::Ident {
+                if hash_names.contains(&t.text) {
+                    hash_vars.entry(name_tok.text.clone()).or_insert((
+                        t.line,
+                        t.col,
+                        t.text.clone(),
+                    ));
+                    break;
+                }
+                if t.text == "f32" || t.text == "f64" {
+                    float_vars.insert(name_tok.text.clone());
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+
+    // (b) `let [mut] name = ...;` initializations. Pattern bindings
+    // (`let Ok(x) = ...`, `let (a, b) = ...`) are skipped: only a plain
+    // name directly followed by `:`, `=`, or `;` is a tracked binding.
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("let") {
+            let mut k = i + 1;
+            if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                k += 1;
+            }
+            let plain_binding = toks.get(k).is_some_and(|t| t.kind == TokKind::Ident)
+                && toks
+                    .get(k + 1)
+                    .is_some_and(|t| t.is_punct(":") || t.is_punct("=") || t.is_punct(";"));
+            if plain_binding {
+                let name = toks[k].text.clone();
+                let mut j = k + 1;
+                let mut seen_eq = false;
+                while j < toks.len() && j - i < 200 {
+                    let t = &toks[j];
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            // A top-level block ends the simple-statement
+                            // scan; pass (a) covers struct-literal fields.
+                            ";" | "{" => break,
+                            "=" => seen_eq = true,
+                            _ => {}
+                        }
+                    }
+                    if t.kind == TokKind::Ident && hash_names.contains(&t.text) {
+                        hash_vars
+                            .entry(name.clone())
+                            .or_insert((t.line, t.col, t.text.clone()));
+                    }
+                    if seen_eq && j == k + 2 {
+                        if let TokKind::Number { float: true } = t.kind {
+                            // `let mut acc = 0.0;` style initialization.
+                            float_vars.insert(name.clone());
+                        }
+                    }
+                    j += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // ---- rule: unordered-collection -------------------------------------
+    for (name, (line, col, ty)) in &hash_vars {
+        push(
+            RULE_UNORDERED_COLLECTION,
+            *line,
+            *col,
+            format!(
+                "`{name}` is bound to a {ty}, whose storage order is unspecified; \
+                 use BTreeMap/BTreeSet or justify why order never escapes"
+            ),
+        );
+    }
+
+    // ---- rule: unordered-iter (method calls) -----------------------------
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !hash_vars.contains_key(&t.text) {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|d| d.is_punct(".")) {
+            if let Some(m) = toks.get(i + 2).filter(|m| m.kind == TokKind::Ident) {
+                if ITER_METHODS.contains(&m.text.as_str())
+                    && toks.get(i + 3).is_some_and(|p| p.is_punct("("))
+                {
+                    push(
+                        RULE_UNORDERED_ITER,
+                        m.line,
+                        m.col,
+                        format!(
+                            "`{}.{}()` iterates a hash collection in unspecified order",
+                            t.text, m.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- rule: unordered-iter (for loops) --------------------------------
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("for") {
+            // Find `in` at paren/bracket depth 0, then the loop body `{`.
+            let mut depth: i32 = 0;
+            let mut j = i + 1;
+            let mut in_pos = None;
+            while j < toks.len() && j - i < 64 {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if depth == 0 && t.is_ident("in") {
+                    in_pos = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(in_pos) = in_pos {
+                let mut depth: i32 = 0;
+                let mut j = in_pos + 1;
+                while j < toks.len() && j - in_pos < 64 {
+                    let t = &toks[j];
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth -= 1,
+                            "{" if depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    if t.kind == TokKind::Ident && hash_vars.contains_key(&t.text) {
+                        // Followed by a non-iterating method call: the loop
+                        // iterates the method's (possibly ordered) result,
+                        // and the method-call pass owns iter-method calls.
+                        let accessor = toks.get(j + 1).is_some_and(|d| d.is_punct("."))
+                            && toks.get(j + 2).is_some_and(|m| m.kind == TokKind::Ident)
+                            && toks.get(j + 3).is_some_and(|p| p.is_punct("("));
+                        if !accessor {
+                            push(
+                                RULE_UNORDERED_ITER,
+                                t.line,
+                                t.col,
+                                format!(
+                                    "for-loop over hash collection `{}` visits entries in \
+                                     unspecified order",
+                                    t.text
+                                ),
+                            );
+                        }
+                    }
+                    j += 1;
+                }
+                i = in_pos;
+            }
+        }
+        i += 1;
+    }
+
+    // ---- rule: nondet-source ---------------------------------------------
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if NONDET_IDENTS.contains(&t.text.as_str()) {
+            push(
+                RULE_NONDET_SOURCE,
+                t.line,
+                t.col,
+                format!(
+                    "`{}` is a nondeterministic source (per-process randomness); \
+                     results depending on it are not reproducible",
+                    t.text
+                ),
+            );
+        }
+        if CLOCK_TYPES.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|p| p.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|m| m.is_ident("now"))
+        {
+            push(
+                RULE_NONDET_SOURCE,
+                t.line,
+                t.col,
+                format!(
+                    "`{}::now()` reads the clock; values derived from it differ \
+                     between runs",
+                    t.text
+                ),
+            );
+        }
+        if t.is_ident("rand")
+            && toks.get(i + 1).is_some_and(|p| p.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|m| m.is_ident("random"))
+        {
+            push(
+                RULE_NONDET_SOURCE,
+                t.line,
+                t.col,
+                "`rand::random()` draws from the OS-seeded thread RNG".to_string(),
+            );
+        }
+    }
+
+    // ---- rule: unscoped-thread -------------------------------------------
+    if !rel_path.ends_with(THREAD_EXEMPT_SUFFIX) {
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if t.is_ident("thread")
+                && toks.get(i + 1).is_some_and(|p| p.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|m| m.is_ident("spawn"))
+            {
+                push(
+                    RULE_UNSCOPED_THREAD,
+                    t.line,
+                    t.col,
+                    "`thread::spawn` outside refine/parallel.rs: parallelism must go \
+                     through the deterministic scoped pool"
+                        .to_string(),
+                );
+            }
+            if t.is_ident("rayon") || t.is_ident("crossbeam") {
+                push(
+                    RULE_UNSCOPED_THREAD,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` used outside refine/parallel.rs: parallelism must go \
+                         through the deterministic scoped pool",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // ---- rule: float-accum -----------------------------------------------
+    if float_rule_applies(rel_path) {
+        for i in 0..toks.len() {
+            if !(toks[i].is_punct("+=") || toks[i].is_punct("-=")) {
+                continue;
+            }
+            let op = toks[i].text.clone();
+            // LHS: the field/variable immediately left of the operator.
+            let lhs_is_float = toks
+                .get(i.wrapping_sub(1))
+                .is_some_and(|t| t.kind == TokKind::Ident && float_vars.contains(&t.text));
+            // RHS: scan to `;` for float literals or f32/f64 casts.
+            let mut rhs_float = false;
+            let mut j = i + 1;
+            while j < toks.len() && j - i < 32 {
+                let t = &toks[j];
+                if t.is_punct(";") {
+                    break;
+                }
+                match &t.kind {
+                    TokKind::Number { float: true } => rhs_float = true,
+                    TokKind::Ident if t.text == "f32" || t.text == "f64" => rhs_float = true,
+                    TokKind::Ident if float_vars.contains(&t.text) => rhs_float = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if lhs_is_float || rhs_float {
+                push(
+                    RULE_FLOAT_ACCUM,
+                    toks[i].line,
+                    toks[i].col,
+                    format!(
+                        "float `{op}` accumulation: summation order changes the result; \
+                         tally in integers (or fixed-point) and divide once at the end"
+                    ),
+                );
+            }
+        }
+    }
+
+    // ---- rule: missing-forbid-unsafe --------------------------------------
+    if is_crate_root(rel_path) {
+        let mut found = false;
+        for i in 0..toks.len() {
+            if toks[i].is_punct("#")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct("["))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident("forbid"))
+                && toks.get(i + 4).is_some_and(|t| t.is_punct("("))
+                && toks.get(i + 5).is_some_and(|t| t.is_ident("unsafe_code"))
+            {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            push(
+                RULE_MISSING_FORBID_UNSAFE,
+                1,
+                1,
+                "crate root lacks `#![forbid(unsafe_code)]`: detlint's safe-code \
+                 assumption requires it in every crate root"
+                    .to_string(),
+            );
+        }
+    }
+
+    // ---- rule: invalid-allow ----------------------------------------------
+    for a in &allows {
+        if !a.well_formed || a.reason.is_empty() {
+            push(
+                RULE_INVALID_ALLOW,
+                a.line,
+                1,
+                "allow annotation must carry a justification: \
+                 `detlint::allow(rule): reason`"
+                    .to_string(),
+            );
+        }
+        for r in &a.rules {
+            if !KNOWN_RULES.contains(&r.as_str()) {
+                push(
+                    RULE_INVALID_ALLOW,
+                    a.line,
+                    1,
+                    format!("allow annotation names unknown rule `{r}`"),
+                );
+            }
+        }
+    }
+
+    // ---- apply allow annotations ------------------------------------------
+    let mut findings = raw;
+    for f in &mut findings {
+        if f.rule == RULE_INVALID_ALLOW {
+            continue; // never silenceable
+        }
+        for (covered, a) in &allow_cover {
+            if a.well_formed
+                && !a.reason.is_empty()
+                && covered.contains(&f.line)
+                && a.rules.iter().any(|r| r == &f.rule)
+            {
+                f.allowed = Some(a.reason.clone());
+                break;
+            }
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str())));
+    findings.dedup_by(|a, b| (a.line, a.col, &a.rule) == (b.line, b.col, &b.rule));
+
+    FileAnalysis { findings }
+}

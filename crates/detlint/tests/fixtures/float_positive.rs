@@ -1,0 +1,13 @@
+struct Tally {
+    weight: f64,
+}
+
+fn demo(rows: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for r in rows {
+        acc += r;
+    }
+    let mut t = Tally { weight: 0.0 };
+    t.weight += 1.5;
+    acc + t.weight
+}

@@ -1,0 +1,5 @@
+//! A crate root without the attribute.
+
+pub fn id(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,5 @@
+//! A crate root with the attribute.
+
+#![forbid(unsafe_code)]
+
+fn main() {}

@@ -1,0 +1,7 @@
+fn demo() {
+    // detlint::allow(unordered-iter)
+    let x = 1;
+    // detlint::allow(no-such-rule): the rule name is wrong
+    let y = 2;
+    let _ = x + y;
+}

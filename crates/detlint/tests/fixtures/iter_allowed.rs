@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+
+fn demo() {
+    // detlint::allow(unordered-collection): fixture — order never escapes
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    // detlint::allow(unordered-iter): fixture — result is re-sorted below
+    let mut vals: Vec<u32> = m.values().copied().collect();
+    vals.sort_unstable();
+    for v in m.values() {} // detlint::allow(unordered-iter): fixture trailing allow
+}

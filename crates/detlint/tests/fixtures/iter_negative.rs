@@ -1,0 +1,10 @@
+use std::collections::BTreeMap;
+
+fn demo() {
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    m.insert(1, 2);
+    for (k, v) in &m {
+        let _ = (k, v);
+    }
+    let _vals: Vec<u32> = m.values().copied().collect();
+}

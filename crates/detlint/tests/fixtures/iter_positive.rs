@@ -1,0 +1,19 @@
+use std::collections::{HashMap, HashSet};
+
+type Memo = HashMap<u32, u32>;
+
+fn demo() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    for (k, v) in &m {
+        let _ = (k, v);
+    }
+    let _total: u32 = m.values().sum();
+    let memo: Memo = Memo::new();
+    let _ = memo.get(&1);
+    let mut s = HashSet::new();
+    s.insert(3u32);
+    for x in s.drain() {
+        let _ = x;
+    }
+}

@@ -1,0 +1,7 @@
+fn demo() -> u128 {
+    // detlint::allow(nondet-source): fixture — wall-clock for a log line only
+    let now = std::time::SystemTime::now();
+    now.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}

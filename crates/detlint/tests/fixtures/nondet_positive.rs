@@ -1,0 +1,9 @@
+use std::collections::hash_map::{DefaultHasher, RandomState};
+use std::time::{Instant, SystemTime};
+
+fn demo() {
+    let _h = DefaultHasher::new();
+    let _s = RandomState::new();
+    let _t0 = Instant::now();
+    let _wall = SystemTime::now();
+}

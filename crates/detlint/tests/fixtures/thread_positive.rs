@@ -1,0 +1,6 @@
+fn demo() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+    rayon::join(|| 1, || 2);
+    crossbeam::scope(|_| {}).unwrap();
+}

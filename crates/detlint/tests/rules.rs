@@ -1,0 +1,162 @@
+//! Fixture tests: every rule firing (positive), staying quiet (negative),
+//! and being silenced by an allow annotation — with exact diagnostic spans.
+//!
+//! Fixtures live under `tests/fixtures/` (excluded from workspace scans);
+//! each is analyzed under a *logical* path so the path-scoped rules
+//! (float-accum, unscoped-thread exemption, crate-root detection) can be
+//! exercised independently of where the fixture sits on disk.
+
+use detlint::analyze_source;
+use std::fs;
+use std::path::Path;
+
+/// Loads a fixture by file name.
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+/// `(rule, line, col, allowed)` for every finding, in report order.
+fn spans(logical_path: &str, name: &str) -> Vec<(String, u32, u32, bool)> {
+    analyze_source(logical_path, &fixture(name))
+        .findings
+        .into_iter()
+        .map(|f| (f.rule, f.line, f.col, f.allowed.is_some()))
+        .collect()
+}
+
+fn s(rule: &str, line: u32, col: u32, allowed: bool) -> (String, u32, u32, bool) {
+    (rule.to_string(), line, col, allowed)
+}
+
+#[test]
+fn unordered_iter_positive_spans() {
+    assert_eq!(
+        spans("crates/demo/src/iter_positive.rs", "iter_positive.rs"),
+        vec![
+            s("unordered-collection", 6, 16, false), // let mut m: HashMap
+            s("unordered-iter", 8, 20, false),       // for (k, v) in &m
+            s("unordered-iter", 11, 25, false),      // m.values()
+            s("unordered-collection", 12, 15, false), // let memo: Memo (alias)
+            s("unordered-collection", 14, 17, false), // let mut s = HashSet::new()
+            s("unordered-iter", 16, 16, false),      // s.drain()
+        ]
+    );
+}
+
+#[test]
+fn unordered_iter_allowed_is_silenced() {
+    let found = spans("crates/demo/src/iter_allowed.rs", "iter_allowed.rs");
+    assert_eq!(
+        found,
+        vec![
+            s("unordered-collection", 5, 16, true), // annotated above
+            s("unordered-iter", 8, 32, true),       // annotated above
+            s("unordered-iter", 10, 16, true),      // trailing annotation
+        ]
+    );
+}
+
+#[test]
+fn btreemap_iteration_is_clean() {
+    assert_eq!(
+        spans("crates/demo/src/iter_negative.rs", "iter_negative.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn nondet_sources_fire_with_spans() {
+    assert_eq!(
+        spans("crates/demo/src/nondet_positive.rs", "nondet_positive.rs"),
+        vec![
+            s("nondet-source", 1, 34, false), // use ... DefaultHasher
+            s("nondet-source", 1, 49, false), // use ... RandomState
+            s("nondet-source", 5, 14, false), // DefaultHasher::new()
+            s("nondet-source", 6, 14, false), // RandomState::new()
+            s("nondet-source", 7, 15, false), // Instant::now()
+            s("nondet-source", 8, 17, false), // SystemTime::now()
+        ]
+    );
+}
+
+#[test]
+fn nondet_allowed_is_silenced() {
+    assert_eq!(
+        spans("crates/demo/src/nondet_allowed.rs", "nondet_allowed.rs"),
+        vec![s("nondet-source", 3, 26, true)]
+    );
+}
+
+#[test]
+fn thread_use_outside_parallel_fires() {
+    assert_eq!(
+        spans("crates/demo/src/thread_positive.rs", "thread_positive.rs"),
+        vec![
+            s("unscoped-thread", 2, 18, false), // std::thread::spawn
+            s("unscoped-thread", 4, 5, false),  // rayon::join
+            s("unscoped-thread", 5, 5, false),  // crossbeam::scope
+        ]
+    );
+}
+
+#[test]
+fn thread_use_inside_parallel_is_exempt() {
+    assert_eq!(
+        spans("crates/core/src/refine/parallel.rs", "thread_positive.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn float_accumulation_fires_in_eval_paths() {
+    assert_eq!(
+        spans("crates/eval/src/float_positive.rs", "float_positive.rs"),
+        vec![
+            s("float-accum", 8, 13, false),  // acc += r
+            s("float-accum", 11, 14, false), // t.weight += 1.5
+        ]
+    );
+}
+
+#[test]
+fn float_accumulation_is_scoped_to_refine_and_eval() {
+    assert_eq!(
+        spans("crates/bgp/src/float_positive.rs", "float_positive.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn crate_root_missing_forbid_fires() {
+    assert_eq!(
+        spans("crates/demo/src/lib.rs", "forbid_missing.rs"),
+        vec![s("missing-forbid-unsafe", 1, 1, false)]
+    );
+    // The same file is fine when it is not a crate root.
+    assert_eq!(
+        spans("crates/demo/src/helper.rs", "forbid_missing.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn crate_root_with_forbid_is_clean() {
+    assert_eq!(
+        spans("crates/demo/src/main.rs", "forbid_present.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn malformed_allows_are_findings() {
+    assert_eq!(
+        spans("crates/demo/src/invalid_allow.rs", "invalid_allow.rs"),
+        vec![
+            s("invalid-allow", 2, 1, false), // missing `: reason`
+            s("invalid-allow", 4, 1, false), // unknown rule name
+        ]
+    );
+}

@@ -1,0 +1,36 @@
+//! The acceptance gate as a test: the real workspace must scan clean.
+//!
+//! CI runs `cargo run -p detlint` as its own job, but keeping the same
+//! check inside `cargo test` means a plain test run catches a determinism
+//! hazard (or a stale allow annotation) without any extra tooling.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unannotated_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/detlint")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "expected workspace root at {}",
+        root.display()
+    );
+    let report = detlint::analyze_workspace(&root);
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: {report:?}"
+    );
+    assert!(
+        report.is_clean(),
+        "unannotated determinism findings:\n{}",
+        report.to_table()
+    );
+    // Every allow annotation in the workspace carries its reason through.
+    assert!(report
+        .allowed
+        .iter()
+        .all(|f| f.allowed.as_deref().is_some_and(|r| !r.is_empty())));
+}

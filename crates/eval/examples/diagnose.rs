@@ -22,7 +22,7 @@ fn main() {
         for p in visible.difference(&pairs) {
             let fw_a = s.net.is_firewalled(p.0);
             let fw_b = s.net.is_firewalled(p.1);
-            println!("missed {:?} fw=({fw_a},{fw_b})", p);
+            println!("missed {p:?} fw=({fw_a},{fw_b})");
         }
         let no_lh = run_bdrmapit(
             &s,
@@ -48,9 +48,9 @@ fn main() {
         for n in s.net.graph.nodes.values() {
             if n.firewalled {
                 if n.asn.0 % 2 == 0 {
-                    fw_even.push(n.asn)
+                    fw_even.push(n.asn);
                 } else {
-                    fw_odd.push(n.asn)
+                    fw_odd.push(n.asn);
                 }
             }
         }

@@ -25,7 +25,10 @@ fn fig15_bdrmapit_at_least_as_accurate_as_bdrmap() {
             row.network,
             row.bdrmapit
         );
+        // detlint::allow(float-accum): sequential fold over a Vec in its
+        // fixed row order — one addition order, same result every run
         it_sum += row.bdrmapit;
+        // detlint::allow(float-accum): same fixed-order fold as above
         bm_sum += row.bdrmap;
     }
     assert!(
@@ -45,7 +48,10 @@ fn fig16_bdrmapit_outrecalls_mapit_at_comparable_precision() {
     let mut it_recall = 0.0;
     let mut mp_recall = 0.0;
     for row in &wide.fig16 {
+        // detlint::allow(float-accum): sequential fold over a Vec in its
+        // fixed row order — one addition order, same result every run
         it_recall += row.bdrmapit.recall();
+        // detlint::allow(float-accum): same fixed-order fold as above
         mp_recall += row.mapit.recall();
         assert!(
             row.bdrmapit.precision() >= 0.7,

@@ -117,7 +117,7 @@ impl AsGraph {
         // ranking, the property clique inference keys on); lateral peering
         // with probability.
         for &t in &transits {
-            for &p in pick_distinct(&clique, 3.min(clique.len()), &mut rng).iter() {
+            for &p in &pick_distinct(&clique, 3.min(clique.len()), &mut rng) {
                 rels.add_p2c(p, t);
             }
         }

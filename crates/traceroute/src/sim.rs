@@ -313,6 +313,10 @@ pub fn reactive_campaign(
 pub fn probe_campaign(net: &Internet, vps: &[RouterId], cfg: &ProbeConfig) -> Vec<Trace> {
     let dests = destinations(net, cfg);
     let mut per_vp: Vec<Vec<Trace>> = Vec::new();
+    // detlint::allow(unscoped-thread): input-generation parallelism, not
+    // refinement; each VP's traces are derived from per-probe seeds and the
+    // join below collects them in vps order, so scheduling never reaches
+    // the output
     crossbeam::thread::scope(|s| {
         let handles: Vec<_> = vps
             .iter()

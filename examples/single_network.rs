@@ -70,8 +70,7 @@ fn main() {
             .graph
             .relationships
             .relationship(target, other)
-            .map(|r| format!("{r:?}"))
-            .unwrap_or_else(|| "NOT A TRUE NEIGHBOR".to_string());
+            .map_or_else(|| "NOT A TRUE NEIGHBOR".to_string(), |r| format!("{r:?}"));
         println!("  {other}  ({rel})");
     }
 }
