@@ -196,6 +196,26 @@ pub fn resolve_midar(
     AliasSets::from_groups(groups)
 }
 
+/// [`resolve_midar`] under an observability span: records the
+/// `alias.resolve` phase and dataset size counters. The alias sets are
+/// bit-identical to the plain variant's.
+pub fn resolve_midar_with_obs(
+    net: &Internet,
+    observed: &BTreeSet<u32>,
+    coverage: f64,
+    seed: u64,
+    rec: &obs::Recorder,
+) -> AliasSets {
+    let _span = rec.span(obs::names::PHASE_ALIAS);
+    let sets = resolve_midar(net, observed, coverage, seed);
+    rec.add(obs::names::ALIAS_GROUPS, sets.len() as u64);
+    rec.add(
+        obs::names::ALIAS_ALIASED_ADDRS,
+        sets.iter().map(|g| g.len() as u64).sum(),
+    );
+    sets
+}
+
 /// Analytic kapar-style resolution from the traces alone.
 ///
 /// For every observed adjacency `x → y` answered with Time Exceeded, assume

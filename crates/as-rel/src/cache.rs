@@ -39,6 +39,18 @@ impl Hasher for FnvHasher {
 
 type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 
+/// Hit/miss tallies for one cache. Purely observational: the refinement
+/// engine reports them as execution-dependent telemetry (each worker owns a
+/// cache, so the split varies with the thread count), and nothing in the
+/// inference path ever reads them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the memo tables.
+    pub hits: u64,
+    /// Queries that fell through to the underlying databases.
+    pub misses: u64,
+}
+
 /// A memoizing view over an [`AsRelationships`] + [`CustomerCones`] pair.
 ///
 /// All answers are identical to the uncached queries — the cache is purely
@@ -53,6 +65,7 @@ pub struct RelQueryCache<'a> {
     // detlint::allow(unordered-collection): memo table probed by key only;
     // nothing ever iterates it, so storage order cannot reach any output
     related: FnvMap<(Asn, Asn), bool>,
+    stats: CacheStats,
 }
 
 impl<'a> RelQueryCache<'a> {
@@ -63,7 +76,13 @@ impl<'a> RelQueryCache<'a> {
             cones,
             sizes: FnvMap::default(),
             related: FnvMap::default(),
+            stats: CacheStats::default(),
         }
+    }
+
+    /// The hit/miss tallies accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
     }
 
     /// The underlying relationship database.
@@ -78,19 +97,28 @@ impl<'a> RelQueryCache<'a> {
 
     /// Memoized [`CustomerCones::size`].
     pub fn cone_size(&mut self, asn: Asn) -> usize {
-        let cones = self.cones;
-        *self.sizes.entry(asn).or_insert_with(|| cones.size(asn))
+        if let Some(&size) = self.sizes.get(&asn) {
+            self.stats.hits += 1;
+            return size;
+        }
+        self.stats.misses += 1;
+        let size = self.cones.size(asn);
+        self.sizes.insert(asn, size);
+        size
     }
 
     /// Memoized [`AsRelationships::has_relationship`] (symmetric, so the
     /// pair is cached in canonical order).
     pub fn has_relationship(&mut self, a: Asn, b: Asn) -> bool {
         let key = if a <= b { (a, b) } else { (b, a) };
-        let rels = self.rels;
-        *self
-            .related
-            .entry(key)
-            .or_insert_with(|| rels.has_relationship(a, b))
+        if let Some(&related) = self.related.get(&key) {
+            self.stats.hits += 1;
+            return related;
+        }
+        self.stats.misses += 1;
+        let related = self.rels.has_relationship(a, b);
+        self.related.insert(key, related);
+        related
     }
 
     /// Memoized [`CustomerCones::largest_cone`]: among `candidates`, the one
@@ -132,6 +160,19 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let (rels, cones) = dbs();
+        let mut cache = RelQueryCache::new(&rels, &cones);
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.cone_size(Asn(1)); // miss
+        cache.cone_size(Asn(1)); // hit
+        cache.has_relationship(Asn(1), Asn(2)); // miss
+        cache.has_relationship(Asn(2), Asn(1)); // hit (canonical key)
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats { hits: 2, misses: 2 });
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod infer;
 mod rel;
 mod serial;
 
-pub use cache::RelQueryCache;
+pub use cache::{CacheStats, RelQueryCache};
 pub use cones::CustomerCones;
 pub use rel::{AsRelationships, Relationship};
 pub use serial::SerialParseError;

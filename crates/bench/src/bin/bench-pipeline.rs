@@ -1,0 +1,72 @@
+//! Writes `BENCH_pipeline.json`: per-phase wall times and iteration counts
+//! for a standard tiny-scale pipeline run, sourced from the observability
+//! [`RunReport`](obs::RunReport).
+//!
+//! Unlike the Criterion benches (statistical, minutes), this is a single
+//! instrumented run (seconds) — cheap enough for CI to produce on every
+//! push, so the perf trajectory of each phase accumulates as build
+//! artifacts. Usage: `bench-pipeline [OUTPUT_PATH]` (default
+//! `BENCH_pipeline.json` in the current directory).
+
+#![forbid(unsafe_code)]
+
+use bdrmapit_core::Config;
+use eval::experiments::run_bdrmapit;
+use eval::Scenario;
+use obs::names;
+use serde::Serialize;
+use std::process::ExitCode;
+use topo_gen::GeneratorConfig;
+
+const SEED: u64 = 2018;
+const VPS: usize = 8;
+
+/// The benchmark document: run parameters, headline numbers, and the full
+/// run report (whose `phases` map carries the per-phase wall times).
+#[derive(Serialize)]
+struct BenchDoc {
+    schema: &'static str,
+    scale: &'static str,
+    seed: u64,
+    vps: usize,
+    iterations: u64,
+    routers_annotated: u64,
+    interdomain_links: usize,
+    report: obs::RunReport,
+}
+
+fn main() -> ExitCode {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let rec = obs::Recorder::new(false);
+    let scenario = Scenario::build_with_obs(GeneratorConfig::tiny(SEED), rec.clone());
+    let bundle = scenario.campaign(VPS, true, SEED);
+    let result = run_bdrmapit(&scenario, &bundle, Config::default());
+    let report = rec.report();
+
+    if let Err(e) = report.validate() {
+        eprintln!("bench-pipeline: incomplete run report: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+    let doc = BenchDoc {
+        schema: "bdrmapit.bench-pipeline/v1",
+        scale: "tiny",
+        seed: SEED,
+        vps: VPS,
+        iterations: counter(names::REFINE_ITERATIONS),
+        routers_annotated: counter(names::REFINE_ROUTERS_ANNOTATED),
+        interdomain_links: result.interdomain_links().len(),
+        report,
+    };
+    let text = serde_json::to_string_pretty(&doc).expect("bench document serializes");
+    if let Err(e) = std::fs::write(&out, text) {
+        eprintln!("bench-pipeline: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}

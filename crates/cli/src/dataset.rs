@@ -66,17 +66,18 @@ pub fn write_bundle(
     gen_cfg: GeneratorConfig,
     vps: usize,
     seed: u64,
+    rec: &obs::Recorder,
 ) -> io::Result<String> {
     fs::create_dir_all(dir)?;
-    let s = Scenario::build(gen_cfg);
+    let s = Scenario::build_with_obs(gen_cfg, rec.clone());
     let probe_cfg = ProbeConfig {
         seed,
         ..ProbeConfig::default()
     };
     let vp_routers = traceroute::sim::select_vps(&s.net, vps, &[], seed);
-    let traces = traceroute::sim::probe_campaign(&s.net, &vp_routers, &probe_cfg);
+    let traces = traceroute::sim::probe_campaign_with_obs(&s.net, &vp_routers, &probe_cfg, rec);
     let observed = alias::observed_addresses(&traces);
-    let aliases = alias::resolve_midar(&s.net, &observed, 0.9, seed);
+    let aliases = alias::resolve_midar_with_obs(&s.net, &observed, 0.9, seed, rec);
 
     let mut f = fs::File::create(dir.join(files::TRACES))?;
     write_jsonl(&mut f, &traces)?;
@@ -127,9 +128,10 @@ pub fn write_bundle(
 
 /// Runs bdrmapIT from a dataset bundle on disk; returns the report text.
 /// `threads` selects the refinement worker count ([`Config::threads`]).
-pub fn infer_from_bundle(dir: &Path, threads: usize) -> io::Result<String> {
+pub fn infer_from_bundle(dir: &Path, threads: usize, rec: &obs::Recorder) -> io::Result<String> {
     let invalid = |e: String| io::Error::new(io::ErrorKind::InvalidData, e);
 
+    let read_span = rec.span(obs::names::PHASE_READ_BUNDLE);
     let traces = read_jsonl(fs::File::open(dir.join(files::TRACES))?)?;
     let aliases = AliasSets::from_nodes_file(&fs::read_to_string(dir.join(files::NODES))?)
         .map_err(invalid)?;
@@ -147,6 +149,7 @@ pub fn infer_from_bundle(dir: &Path, threads: usize) -> io::Result<String> {
         Err(_) => IxpDirectory::new(),
     };
     ixps.rebuild();
+    drop(read_span);
 
     // prefix2as + delegations + IXPs → the combined oracle. (IpToAs::build
     // wants a Rib for BGP; reconstruct the BGP layer from prefix2as and
@@ -173,7 +176,9 @@ pub fn infer_from_bundle(dir: &Path, threads: usize) -> io::Result<String> {
         threads,
         ..Config::default()
     };
-    let result = Bdrmapit::new(cfg).run(&traces, &aliases, &ip2as, &rels);
+    let result = Bdrmapit::new(cfg)
+        .with_obs(rec.clone())
+        .run(&traces, &aliases, &ip2as, &rels);
 
     let mut ann = fs::File::create(dir.join(files::ANNOTATIONS))?;
     bdrmapit_core::output::write_annotations(&mut ann, &result)?;
@@ -245,7 +250,8 @@ mod tests {
     #[test]
     fn bundle_roundtrip_scores_against_truth() {
         let dir = tmpdir("roundtrip");
-        let report = write_bundle(&dir, GeneratorConfig::tiny(404), 4, 404).unwrap();
+        let rec = obs::Recorder::disabled();
+        let report = write_bundle(&dir, GeneratorConfig::tiny(404), 4, 404, &rec).unwrap();
         assert!(report.contains("wrote"));
         for f in [
             files::TRACES,
@@ -260,7 +266,7 @@ mod tests {
         }
         // Exercise the parallel refinement path end to end: 2 workers here,
         // serial in `infer_without_truth_still_runs` — same code, same answers.
-        let report = infer_from_bundle(&dir, 2).unwrap();
+        let report = infer_from_bundle(&dir, 2, &rec).unwrap();
         assert!(report.contains("interdomain links"), "{report}");
         assert!(report.contains("link precision vs truth"), "{report}");
         assert!(dir.join(files::ANNOTATIONS).exists());
@@ -279,9 +285,10 @@ mod tests {
     #[test]
     fn infer_without_truth_still_runs() {
         let dir = tmpdir("no-truth");
-        write_bundle(&dir, GeneratorConfig::tiny(405), 3, 405).unwrap();
+        let rec = obs::Recorder::disabled();
+        write_bundle(&dir, GeneratorConfig::tiny(405), 3, 405, &rec).unwrap();
         fs::remove_file(dir.join(files::TRUTH)).unwrap();
-        let report = infer_from_bundle(&dir, 1).unwrap();
+        let report = infer_from_bundle(&dir, 1, &rec).unwrap();
         assert!(report.contains("interdomain links"));
         assert!(!report.contains("precision"));
         let _ = fs::remove_dir_all(&dir);
@@ -291,6 +298,27 @@ mod tests {
     fn infer_missing_bundle_errors() {
         let dir = tmpdir("missing");
         fs::remove_dir_all(&dir).unwrap();
-        assert!(infer_from_bundle(&dir, 1).is_err());
+        assert!(infer_from_bundle(&dir, 1, &obs::Recorder::disabled()).is_err());
+    }
+
+    #[test]
+    fn infer_records_read_and_pipeline_phases() {
+        let dir = tmpdir("obs-phases");
+        let rec = obs::Recorder::new(false);
+        write_bundle(&dir, GeneratorConfig::tiny(406), 3, 406, &rec).unwrap();
+        infer_from_bundle(&dir, 1, &rec).unwrap();
+        let report = rec.report();
+        for phase in [
+            obs::names::PHASE_TOPO,
+            obs::names::PHASE_TRACEROUTE,
+            obs::names::PHASE_ALIAS,
+            obs::names::PHASE_READ_BUNDLE,
+            obs::names::PHASE_GRAPH,
+            obs::names::PHASE_REFINE,
+        ] {
+            assert!(report.phases.contains_key(phase), "missing {phase}");
+        }
+        assert!(report.counters[obs::names::REFINE_ITERATIONS] > 0);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

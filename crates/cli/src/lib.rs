@@ -51,6 +51,10 @@ pub struct Cli {
     pub vps: usize,
     /// Refinement worker threads (0 = all available parallelism).
     pub threads: usize,
+    /// Write the JSON [`obs::RunReport`] here after the run.
+    pub report: Option<PathBuf>,
+    /// Print live phase enter/exit lines on stderr.
+    pub trace: bool,
 }
 
 /// Supported subcommands.
@@ -82,6 +86,8 @@ pub enum Command {
         /// Input directory.
         input: PathBuf,
     },
+    /// Run the full synthetic pipeline end to end (all five phases).
+    Pipeline,
     /// Usage text.
     Help,
 }
@@ -98,18 +104,68 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Exit code for a successful run.
+pub const EXIT_SUCCESS: u8 = 0;
+/// Exit code for a runtime failure (I/O, invalid bundle, failed report
+/// validation) — the arguments were fine, the run was not.
+pub const EXIT_RUNTIME: u8 = 1;
+/// Exit code for a usage error (bad arguments); the conventional `EX_USAGE`
+/// family distinguishes "you called it wrong" from "it failed".
+pub const EXIT_USAGE: u8 = 2;
+
+/// Everything that can go wrong after `main` takes over: bad arguments or a
+/// failed run. Each variant maps to a distinct process exit code so scripts
+/// and CI can tell the two apart.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line did not parse ([`EXIT_USAGE`]).
+    Usage(ParseError),
+    /// The run itself failed ([`EXIT_RUNTIME`]).
+    Runtime(String),
+}
+
+impl CliError {
+    /// The process exit code for this error.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => EXIT_USAGE,
+            CliError::Runtime(_) => EXIT_RUNTIME,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(e) => write!(f, "{e}"),
+            CliError::Runtime(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ParseError> for CliError {
+    fn from(e: ParseError) -> CliError {
+        CliError::Usage(e)
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 bdrmapit — reproduce 'Pushing the Boundaries with bdrmapIT' (IMC 2018)
 
 USAGE:
     bdrmapit <COMMAND> [--seed N] [--scale tiny|default|itdk] [--vps N] [--threads N]
+                       [--report FILE] [--trace]
 
 COMMANDS:
     probe --out DIR    write a synthetic dataset bundle (traces.jsonl, nodes.txt,
                        as-rel.txt, prefix2as.txt, delegated-extended.txt, ixps.json,
                        truth.json) to DIR
     infer --in DIR     run bdrmapIT from a bundle; writes annotations.csv/links.csv
+    pipeline    run the full synthetic pipeline end to end: generate the
+                topology, probe, resolve aliases, build the IR graph, refine
     generate    print a summary of the generated synthetic Internet
     stats       campaign statistics (Table 3 link labels, §5 coverage)
     fig15       single in-network VP: bdrmapIT vs bdrmap
@@ -126,6 +182,12 @@ OPTIONS:
     --vps N      vantage points           [default: scale-dependent]
     --threads N  refinement worker threads; 0 = all cores, 1 = serial.
                  Results are identical for every value.   [default: 0]
+    --report F   write the JSON run report (phase wall times, counters,
+                 histograms; schema bdrmapit.run-report/v1) to F
+    --trace      print live phase enter/exit lines on stderr
+
+EXIT CODES:
+    0  success        1  runtime failure        2  usage error
 ";
 
 /// Parses a command line (excluding `argv[0]`).
@@ -135,6 +197,8 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     let mut scale = Scale::Default;
     let mut vps: Option<usize> = None;
     let mut threads = 0usize;
+    let mut report: Option<PathBuf> = None;
+    let mut trace = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -172,11 +236,12 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                     _ => return Err(ParseError("--in only applies to infer".into())),
                 }
             }
-            "generate" | "stats" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "fig20"
-            | "ablation" | "all" | "help" | "--help" | "-h" => {
+            "generate" | "stats" | "pipeline" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19"
+            | "fig20" | "ablation" | "all" | "help" | "--help" | "-h" => {
                 let cmd = match arg.as_str() {
                     "generate" => Command::Generate,
                     "stats" => Command::Stats,
+                    "pipeline" => Command::Pipeline,
                     "fig15" => Command::Fig15,
                     "fig16" | "fig17" => Command::Fig16,
                     "fig18" | "fig19" => Command::Fig18,
@@ -226,6 +291,13 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                     .parse()
                     .map_err(|_| ParseError(format!("bad thread count {v:?}")))?;
             }
+            "--report" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--report needs a value".into()))?;
+                report = Some(PathBuf::from(v));
+            }
+            "--trace" => trace = true,
             other => return Err(ParseError(format!("unknown argument {other:?}"))),
         }
     }
@@ -250,27 +322,51 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         scale,
         vps: vps.unwrap_or(default_vps),
         threads,
+        report,
+        trace,
     })
 }
 
-/// Executes a parsed command line, returning the report text.
-pub fn run(cli: &Cli) -> String {
+/// Executes a parsed command line, returning the report text. Runtime
+/// failures (I/O, invalid bundles, failed run-report validation) come back
+/// as [`CliError::Runtime`]; `main` maps them to [`EXIT_RUNTIME`].
+pub fn run(cli: &Cli) -> Result<String, CliError> {
+    let rec = if cli.trace || cli.report.is_some() {
+        obs::Recorder::new(cli.trace)
+    } else {
+        obs::Recorder::disabled()
+    };
+    let out = run_with_obs(cli, &rec)?;
+    if let Some(path) = &cli.report {
+        let report = rec.report();
+        if cli.command == Command::Pipeline {
+            // Only the pipeline command traverses all five phases; validate
+            // so CI can gate on the exit code alone.
+            report.validate().map_err(CliError::Runtime)?;
+        }
+        std::fs::write(path, report.to_json())
+            .map_err(|e| CliError::Runtime(format!("writing {}: {e}", path.display())))?;
+    }
+    Ok(out)
+}
+
+fn run_with_obs(cli: &Cli, rec: &obs::Recorder) -> Result<String, CliError> {
+    let runtime = |e: std::io::Error| CliError::Runtime(e.to_string());
     if cli.command == Command::Help {
-        return USAGE.to_string();
+        return Ok(USAGE.to_string());
     }
     // File-driven commands handle their own I/O and reporting.
     match &cli.command {
         Command::Probe { out } => {
-            return dataset::write_bundle(out, cli.scale.config(cli.seed), cli.vps, cli.seed)
-                .unwrap_or_else(|e| format!("error: {e}\n"));
+            return dataset::write_bundle(out, cli.scale.config(cli.seed), cli.vps, cli.seed, rec)
+                .map_err(runtime);
         }
         Command::Infer { input } => {
-            return dataset::infer_from_bundle(input, cli.threads)
-                .unwrap_or_else(|e| format!("error: {e}\n"));
+            return dataset::infer_from_bundle(input, cli.threads, rec).map_err(runtime);
         }
         _ => {}
     }
-    let s = Scenario::build(cli.scale.config(cli.seed));
+    let s = Scenario::build_with_obs(cli.scale.config(cli.seed), rec.clone());
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -301,6 +397,25 @@ pub fn run(cli: &Cli) -> String {
             let bundle = s.campaign(cli.vps, true, cli.seed);
             let _ = writeln!(out, "{}", stats::corpus_stats(&s, &bundle).render());
         }
+        Command::Pipeline => {
+            let bundle = s.campaign(cli.vps, true, cli.seed);
+            let cfg = bdrmapit_core::Config {
+                threads: cli.threads,
+                ..bdrmapit_core::Config::default()
+            };
+            let result = eval::experiments::run_bdrmapit(&s, &bundle, cfg);
+            let _ = writeln!(
+                out,
+                "pipeline: {} traces from {} VPs, {} alias groups, {} IRs, \
+                 {} refinement iterations, {} interdomain links",
+                bundle.traces.len(),
+                bundle.vps.len(),
+                bundle.aliases.len(),
+                result.graph.irs.len(),
+                result.state.iterations,
+                result.interdomain_links().len()
+            );
+        }
         Command::Fig15 => {
             // The paper reports 2016 and 2018 snapshot groups; the current
             // scenario serves as the 2016 snapshot.
@@ -309,7 +424,7 @@ pub fn run(cli: &Cli) -> String {
                 y2018: Scenario::build(cli.scale.config(cli.seed ^ 0x2018_2018)),
             };
             let _ = writeln!(out, "{}", snapshots::fig15_dual(&snaps, cli.seed).render());
-            return out;
+            return Ok(out);
         }
         Command::Fig16 => {
             let snaps = snapshots::Snapshots {
@@ -321,7 +436,7 @@ pub fn run(cli: &Cli) -> String {
                 "{}",
                 snapshots::fig16_dual(&snaps, cli.vps, cli.seed).render()
             );
-            return out;
+            return Ok(out);
         }
         Command::Fig18 => {
             let groups = groups_for(cli.vps);
@@ -364,7 +479,7 @@ pub fn run(cli: &Cli) -> String {
             unreachable!("handled above")
         }
     }
-    out
+    Ok(out)
 }
 
 /// The paper sweeps 20/40/60/80 VPs; scale the ladder to the configured VP
@@ -434,7 +549,67 @@ mod tests {
     #[test]
     fn help_runs_without_building_a_scenario() {
         let cli = parse(&args(&["help"])).unwrap();
-        assert_eq!(run(&cli), USAGE);
+        assert_eq!(run(&cli).unwrap(), USAGE);
+    }
+
+    #[test]
+    fn parse_report_and_trace() {
+        let cli = parse(&args(&["pipeline", "--report", "r.json", "--trace"])).unwrap();
+        assert_eq!(cli.command, Command::Pipeline);
+        assert_eq!(cli.report, Some(PathBuf::from("r.json")));
+        assert!(cli.trace);
+        let cli = parse(&args(&["stats"])).unwrap();
+        assert_eq!(cli.report, None);
+        assert!(!cli.trace);
+        assert!(parse(&args(&["pipeline", "--report"])).is_err());
+    }
+
+    #[test]
+    fn exit_codes_distinguish_usage_from_runtime() {
+        let usage = CliError::from(ParseError("bad".into()));
+        assert_eq!(usage.exit_code(), EXIT_USAGE);
+        let runtime = CliError::Runtime("io failed".into());
+        assert_eq!(runtime.exit_code(), EXIT_RUNTIME);
+        assert_ne!(EXIT_USAGE, EXIT_RUNTIME);
+        assert_ne!(EXIT_USAGE, EXIT_SUCCESS);
+        assert_ne!(EXIT_RUNTIME, EXIT_SUCCESS);
+        // Display carries the message without decorating it; main adds the
+        // "error:" prefix and (for usage errors) the usage text.
+        assert_eq!(usage.to_string(), "invalid arguments: bad");
+        assert_eq!(runtime.to_string(), "io failed");
+    }
+
+    #[test]
+    fn runtime_failures_are_runtime_errors_not_usage() {
+        // A well-formed command line pointing at a bundle that does not
+        // exist: parse succeeds, run fails with EXIT_RUNTIME.
+        let cli = parse(&args(&["infer", "--in", "/nonexistent/bundle-dir"])).unwrap();
+        let err = run(&cli).unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_RUNTIME);
+    }
+
+    #[test]
+    fn pipeline_tiny_writes_validated_report() {
+        let path =
+            std::env::temp_dir().join(format!("bdrmapit-test-report-{}.json", std::process::id()));
+        let cli = parse(&args(&[
+            "pipeline",
+            "--scale",
+            "tiny",
+            "--vps",
+            "4",
+            "--report",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("pipeline:"), "{out}");
+        let report = obs::RunReport::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(report.validate(), Ok(()));
+        for phase in obs::names::MANDATORY_PHASES {
+            assert!(report.phases.contains_key(*phase), "missing {phase}");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -446,7 +621,7 @@ mod tests {
     #[test]
     fn generate_tiny_runs() {
         let cli = parse(&args(&["generate", "--scale", "tiny", "--seed", "3"])).unwrap();
-        let out = run(&cli);
+        let out = run(&cli).unwrap();
         assert!(out.contains("synthetic Internet"));
         assert!(out.contains("ground truth"));
     }
@@ -454,7 +629,7 @@ mod tests {
     #[test]
     fn stats_tiny_runs() {
         let cli = parse(&args(&["stats", "--scale", "tiny", "--vps", "4"])).unwrap();
-        let out = run(&cli);
+        let out = run(&cli).unwrap();
         assert!(out.contains("Table 3"));
     }
 }

@@ -100,12 +100,25 @@ impl Default for Config {
 #[derive(Clone, Debug, Default)]
 pub struct Bdrmapit {
     cfg: Config,
+    obs: obs::Recorder,
 }
 
 impl Bdrmapit {
-    /// Creates a runner with the given configuration.
+    /// Creates a runner with the given configuration and telemetry off.
     pub fn new(cfg: Config) -> Self {
-        Bdrmapit { cfg }
+        Bdrmapit {
+            cfg,
+            obs: obs::Recorder::disabled(),
+        }
+    }
+
+    /// Attaches an observability recorder. Telemetry is write-only: the
+    /// annotations produced by [`run`](Bdrmapit::run) are bit-identical with
+    /// any recorder, including the disabled default.
+    #[must_use]
+    pub fn with_obs(mut self, rec: obs::Recorder) -> Self {
+        self.obs = rec;
+        self
     }
 
     /// The configuration in use.
@@ -121,13 +134,34 @@ impl Bdrmapit {
         ip2as: &IpToAs,
         rels: &AsRelationships,
     ) -> Annotated {
+        use obs::names;
+
         let cones = CustomerCones::compute(rels);
-        let graph = IrGraph::build(traces, aliases, ip2as, &self.cfg, rels, &cones);
+        let graph = {
+            let _span = self.obs.span(names::PHASE_GRAPH);
+            let graph = IrGraph::build(traces, aliases, ip2as, &self.cfg, rels, &cones);
+            self.obs.add(names::GRAPH_IRS, graph.irs.len() as u64);
+            self.obs
+                .add(names::GRAPH_IFACES, graph.iface_addrs.len() as u64);
+            self.obs.add(
+                names::GRAPH_LINKS,
+                graph.irs.iter().map(|ir| ir.links.len() as u64).sum(),
+            );
+            graph
+        };
         let mut state = AnnotationState::new(&graph);
         if self.cfg.enable_last_hop {
+            let _span = self.obs.span(names::PHASE_LASTHOP);
             lasthop::annotate_last_hops(&graph, rels, &cones, &mut state);
+            self.obs.add(
+                names::LASTHOP_FROZEN,
+                state.frozen.iter().filter(|&&f| f).count() as u64,
+            );
         }
-        refine::refine(&graph, rels, &cones, &self.cfg, &mut state);
+        {
+            let _span = self.obs.span(names::PHASE_REFINE);
+            refine::refine_with_obs(&graph, rels, &cones, &self.cfg, &mut state, &self.obs);
+        }
         Annotated { graph, state }
     }
 }

@@ -71,10 +71,28 @@ pub fn refine(
     cfg: &Config,
     state: &mut AnnotationState,
 ) {
+    refine_with_obs(graph, rels, cones, cfg, state, &obs::Recorder::disabled());
+}
+
+/// Runs phase 3 to completion, reporting convergence telemetry through
+/// `rec`. Telemetry is write-only: every annotation, iteration count, and
+/// convergence trace is bit-identical whether `rec` is enabled, disabled,
+/// or shared with other phases — the determinism suite checks this at
+/// thread counts 1/2/8.
+pub fn refine_with_obs(
+    graph: &IrGraph,
+    rels: &AsRelationships,
+    cones: &CustomerCones,
+    cfg: &Config,
+    state: &mut AnnotationState,
+    rec: &obs::Recorder,
+) {
+    use obs::names;
+
     let plan = &graph.shards;
     let cells = SweepCells::new(state);
     let threads = effective_threads(cfg, plan);
-    let (iterations, traces) = if threads <= 1 {
+    let (iterations, traces, mut sheet) = if threads <= 1 {
         let mut ctx = SweepCtx::new(graph, cfg, rels, cones);
         let mut iterations = 0;
         let mut traces = Vec::with_capacity(plan.shards.len());
@@ -82,15 +100,37 @@ pub fn refine(
             let run =
                 parallel::converge_shard(shard, &cells, &mut ctx, cfg.max_iterations, 0, 1, None);
             iterations = iterations.max(run.iterations);
+            ctx.sheet
+                .record(names::HIST_SHARD_ITERATIONS, run.iterations as u64);
             traces.push(run.trace);
         }
-        (iterations, traces)
+        ctx.flush_cache_stats();
+        (iterations, traces, ctx.sheet)
     } else {
         parallel::refine_parallel(graph, plan, &cells, rels, cones, cfg, threads)
     };
     cells.write_back(state);
     state.iterations = iterations;
     state.convergence_traces = traces;
+
+    // Plan-level telemetry, recorded once on the calling thread so serial
+    // and parallel runs produce the identical deterministic sheet.
+    sheet.inc(names::REFINE_RUNS);
+    sheet.add(names::REFINE_ITERATIONS, iterations as u64);
+    sheet.add(names::REFINE_SHARDS, plan.shards.len() as u64);
+    for shard in &plan.shards {
+        sheet.record(names::HIST_SHARD_WAVEFRONTS, shard.levels.len() as u64);
+    }
+    sheet.add(
+        names::REFINE_ROUTERS_ANNOTATED,
+        state
+            .router
+            .iter()
+            .filter(|a| **a != net_types::Asn::NONE)
+            .count() as u64,
+    );
+    sheet.add_exec(names::EXEC_REFINE_WORKERS, threads as u64);
+    rec.absorb(&sheet);
 }
 
 /// Resolves [`Config::threads`] against the machine and the shard plan,

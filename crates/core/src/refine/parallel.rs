@@ -75,11 +75,14 @@ impl SweepCells {
 }
 
 /// Read-only context threaded through the annotation routines. Each worker
-/// owns one, so the memoized relationship/cone cache is contention-free.
+/// owns one, so the memoized relationship/cone cache is contention-free —
+/// and so is the telemetry sheet, which the engine merges in worker order
+/// after the pool joins (telemetry is write-only: nothing here reads it).
 pub(crate) struct SweepCtx<'a> {
     pub graph: &'a IrGraph,
     pub cfg: &'a Config,
     pub cache: RelQueryCache<'a>,
+    pub sheet: obs::MetricSheet,
 }
 
 impl<'a> SweepCtx<'a> {
@@ -93,7 +96,19 @@ impl<'a> SweepCtx<'a> {
             graph,
             cfg,
             cache: RelQueryCache::new(rels, cones),
+            sheet: obs::MetricSheet::new(),
         }
+    }
+
+    /// Moves the accumulated cache hit/miss tallies into the sheet (called
+    /// once per worker, after its last shard). Execution-dependent class:
+    /// each worker's cache sees a different slice of the work, so the split
+    /// varies with the thread count.
+    pub fn flush_cache_stats(&mut self) {
+        let stats = self.cache.stats();
+        self.sheet.add_exec(obs::names::EXEC_CACHE_HITS, stats.hits);
+        self.sheet
+            .add_exec(obs::names::EXEC_CACHE_MISSES, stats.misses);
     }
 }
 
@@ -227,6 +242,12 @@ pub(crate) fn converge_shard(
                 let view = RouterView::at(cells, iri);
                 let a = router::annotate_ir(ir, &view, ctx);
                 if a.is_some() {
+                    // Each IR is written by exactly one worker (its chunk
+                    // owner), so counting changed values per worker sums to
+                    // the serial total for every thread count.
+                    if cells.router[iri as usize].load(Ordering::Relaxed) != a.0 {
+                        ctx.sheet.inc(obs::names::REFINE_VOTES_CHANGED);
+                    }
                     cells.router[iri as usize].store(a.0, Ordering::Relaxed);
                 }
             }
@@ -258,7 +279,8 @@ pub(crate) fn converge_shard(
 /// calling thread doubles as worker 0). Returns the maximum per-shard
 /// iteration count plus the convergence hash trace of every shard, indexed
 /// by the shard's position in `plan.shards` — the same order the serial
-/// engine visits them, so the two paths yield comparable trace vectors.
+/// engine visits them, so the two paths yield comparable trace vectors —
+/// plus the workers' telemetry sheets merged in worker-index order.
 pub(crate) fn refine_parallel(
     graph: &IrGraph,
     plan: &ShardPlan,
@@ -267,7 +289,7 @@ pub(crate) fn refine_parallel(
     cones: &CustomerCones,
     cfg: &Config,
     threads: usize,
-) -> (usize, Vec<Vec<u64>>) {
+) -> (usize, Vec<Vec<u64>>, obs::MetricSheet) {
     // A shard tagged with its index in `plan.shards`, which survives the
     // big/small partition so traces land in plan order.
     type Indexed<'a> = Vec<(usize, &'a Shard)>;
@@ -282,6 +304,12 @@ pub(crate) fn refine_parallel(
     // shards (all participants compute the identical trace) and by the
     // round-robin owner for solo shards.
     let traces: Vec<Mutex<Vec<u64>>> = plan.shards.iter().map(|_| Mutex::new(Vec::new())).collect();
+    // One telemetry sheet slot per worker, written exactly once when the
+    // worker finishes; merged below in worker-index order so the combined
+    // sheet is identical run to run.
+    let sheets: Vec<Mutex<obs::MetricSheet>> = (0..threads)
+        .map(|_| Mutex::new(obs::MetricSheet::new()))
+        .collect();
     let worker = |w: usize| {
         let mut ctx = SweepCtx::new(graph, cfg, rels, cones);
         let mut local = 0usize;
@@ -298,6 +326,10 @@ pub(crate) fn refine_parallel(
             );
             local = local.max(run.iterations);
             if w == 0 {
+                // Every lockstep participant computes the identical run;
+                // one designated worker records it (trace and histogram).
+                ctx.sheet
+                    .record(obs::names::HIST_SHARD_ITERATIONS, run.iterations as u64);
                 *traces[idx].lock().unwrap() = run.trace;
             }
         }
@@ -306,9 +338,13 @@ pub(crate) fn refine_parallel(
             if k % threads == w {
                 let run = converge_shard(shard, cells, &mut ctx, cfg.max_iterations, 0, 1, None);
                 local = local.max(run.iterations);
+                ctx.sheet
+                    .record(obs::names::HIST_SHARD_ITERATIONS, run.iterations as u64);
                 *traces[idx].lock().unwrap() = run.trace;
             }
         }
+        ctx.flush_cache_stats();
+        *sheets[w].lock().unwrap() = ctx.sheet;
         max_iterations.fetch_max(local, Ordering::SeqCst);
     };
     crossbeam::thread::scope(|s| {
@@ -323,7 +359,11 @@ pub(crate) fn refine_parallel(
         .into_iter()
         .map(|m| m.into_inner().unwrap())
         .collect();
-    (max_iterations.load(Ordering::SeqCst), traces)
+    let mut sheet = obs::MetricSheet::new();
+    for s in sheets {
+        sheet.merge(&s.into_inner().unwrap());
+    }
+    (max_iterations.load(Ordering::SeqCst), traces, sheet)
 }
 
 /// A sense-reversing spin barrier.

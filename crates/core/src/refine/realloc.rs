@@ -66,9 +66,14 @@ pub(crate) fn correct_reallocated(
     if !is_customer_of_origin {
         return;
     }
+    let mut flipped = false;
     for &i in &cand {
         if votes[i].is_some_and(|v| v != x) {
             votes[i] = Some(x);
+            flipped = true;
         }
+    }
+    if flipped {
+        ctx.sheet.inc(obs::names::REFINE_REALLOC_FIRINGS);
     }
 }

@@ -67,6 +67,7 @@ pub(crate) fn annotate_ir(ir: &Ir, view: &RouterView<'_>, ctx: &mut SweepCtx<'_>
     // ---- Alg. 2 line 10: exceptions (§6.1.3) ----
     if ctx.cfg.enable_exceptions {
         if let Some(a) = exceptions::check_exceptions(ir, &link_vote_ases, &v, ctx.cache.rels()) {
+            ctx.sheet.inc(obs::names::REFINE_EXCEPTION_FIRINGS);
             return a;
         }
     }
@@ -92,7 +93,11 @@ pub(crate) fn annotate_ir(ir: &Ir, view: &RouterView<'_>, ctx: &mut SweepCtx<'_>
     let a = elect(&v, &all, &mut ctx.cache);
     if ctx.cfg.enable_hidden_as {
         let vote_origins = m.get(&a).cloned().unwrap_or_default();
-        return hidden::check_hidden_as(ir, a, &vote_origins, ctx.cache.rels());
+        let replaced = hidden::check_hidden_as(ir, a, &vote_origins, ctx.cache.rels());
+        if replaced != a {
+            ctx.sheet.inc(obs::names::REFINE_HIDDEN_FIRINGS);
+        }
+        return replaced;
     }
     a
 }

@@ -66,6 +66,7 @@ pub(crate) fn link_vote(link: &Link, view: &RouterView<'_>, ctx: &mut SweepCtx<'
             .any(|&o| ctx.cache.has_relationship(o, as_j))
         && !link.dests.contains(&j_origin.asn)
     {
+        ctx.sheet.inc(obs::names::REFINE_THIRD_PARTY_VOTES);
         return Some(as_j);
     }
 

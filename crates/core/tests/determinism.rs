@@ -75,18 +75,33 @@ fn corpus_strategy() -> impl Strategy<Value = Vec<Trace>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// The headline guarantee: `threads` never changes a single annotation.
-    /// Thread counts 2 and 8 exercise both parallel regimes (fewer and more
-    /// workers than most corpora have shards/level slots) against serial.
+    /// The headline guarantee: `threads` never changes a single annotation —
+    /// nor, with telemetry enabled, a single deterministic counter or
+    /// histogram. Thread counts 2 and 8 exercise both parallel regimes
+    /// (fewer and more workers than most corpora have shards/level slots)
+    /// against serial.
     #[test]
     fn thread_count_never_changes_results(traces in corpus_strategy()) {
         let run = |threads: usize| {
             let cfg = Config { threads, ..Config::default() };
-            Bdrmapit::new(cfg).run(&traces, &AliasSets::empty(), &oracle(), &rels())
+            let rec = obs::Recorder::new(false);
+            let annotated = Bdrmapit::new(cfg)
+                .with_obs(rec.clone())
+                .run(&traces, &AliasSets::empty(), &oracle(), &rels());
+            (annotated, rec.report())
         };
-        let serial = run(1);
+        let (serial, serial_report) = run(1);
         for threads in [2usize, 8] {
-            let parallel = run(threads);
+            let (parallel, parallel_report) = run(threads);
+            // Telemetry determinism: the counter/histogram slice of the run
+            // report is thread-count-invariant (wall times and exec metrics
+            // are excluded by deterministic_view, per DESIGN.md §10).
+            prop_assert_eq!(
+                serial_report.deterministic_view(),
+                parallel_report.deterministic_view(),
+                "deterministic metrics diverged at threads={}",
+                threads
+            );
             prop_assert_eq!(
                 serial.router_annotations(),
                 parallel.router_annotations(),
@@ -121,6 +136,20 @@ proptest! {
                 "traces missing despite a non-empty shard plan"
             );
         }
+        // Telemetry is write-only: running with the recorder disabled gives
+        // the same annotations and convergence traces as with it enabled.
+        let bare = Bdrmapit::new(Config { threads: 1, ..Config::default() })
+            .run(&traces, &AliasSets::empty(), &oracle(), &rels());
+        prop_assert_eq!(
+            serial.router_annotations(),
+            bare.router_annotations(),
+            "enabling telemetry changed the annotations"
+        );
+        prop_assert_eq!(
+            &serial.state.convergence_traces,
+            &bare.state.convergence_traces,
+            "enabling telemetry changed the convergence traces"
+        );
     }
 
     /// The shard plan the equivalence rests on: every IR lands in exactly

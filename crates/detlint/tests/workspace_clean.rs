@@ -34,3 +34,54 @@ fn workspace_has_no_unannotated_findings() {
         .iter()
         .all(|f| f.allowed.as_deref().is_some_and(|r| !r.is_empty())));
 }
+
+/// The allow inventory is a budget, not a convention: this test pins the
+/// exact per-rule allowance so a new `detlint::allow` anywhere in the
+/// workspace fails CI until the count here is consciously raised in the
+/// same change (and the reviewer sees both).
+#[test]
+fn allow_inventory_does_not_silently_grow() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/detlint")
+        .to_path_buf();
+    let report = detlint::analyze_workspace(&root);
+
+    let mut by_rule: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for f in &report.allowed {
+        *by_rule.entry(f.rule.as_str()).or_insert(0) += 1;
+    }
+    let expected: std::collections::BTreeMap<&str, usize> = [
+        // as-rel memo tables (2), core graph hot-path table, refine
+        // duplicate filter.
+        ("unordered-collection", 4),
+        // eval metric folds in tests.
+        ("float-accum", 4),
+        // traceroute campaign input-generation parallelism.
+        ("unscoped-thread", 1),
+        // obs::MonotonicClock — the workspace's only sanctioned wall-clock
+        // read (see the sole-clock assertion below).
+        ("nondet-source", 1),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(
+        by_rule, expected,
+        "the detlint allow inventory changed; update this budget deliberately"
+    );
+
+    // The single nondet-source allowance is obs's Clock: every other crate
+    // must get wall time through that abstraction, never read it directly.
+    let clock_allows: Vec<&str> = report
+        .allowed
+        .iter()
+        .filter(|f| f.rule == "nondet-source")
+        .map(|f| f.file.as_str())
+        .collect();
+    assert_eq!(
+        clock_allows,
+        vec!["crates/obs/src/clock.rs"],
+        "Instant::now is only permitted inside obs::MonotonicClock"
+    );
+}

@@ -21,9 +21,16 @@ pub mod vps;
 use crate::scenario::{CorpusBundle, Scenario};
 use bdrmapit_core::{Annotated, Bdrmapit, Config};
 
-/// Runs bdrmapIT on a corpus under a scenario.
+/// Runs bdrmapIT on a corpus under a scenario, reporting telemetry through
+/// the scenario's recorder (disabled unless the scenario was built with
+/// [`Scenario::build_with_obs`]).
 pub fn run_bdrmapit(s: &Scenario, bundle: &CorpusBundle, cfg: Config) -> Annotated {
-    Bdrmapit::new(cfg).run(&bundle.traces, &bundle.aliases, &s.ip2as, &s.rels)
+    Bdrmapit::new(cfg).with_obs(s.obs.clone()).run(
+        &bundle.traces,
+        &bundle.aliases,
+        &s.ip2as,
+        &s.rels,
+    )
 }
 
 /// Renders an aligned text table.

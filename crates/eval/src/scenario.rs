@@ -1,13 +1,13 @@
 //! Reproducible experiment scenarios.
 
-use alias::{observed_addresses, resolve_kapar, resolve_midar, AliasSets};
+use alias::{observed_addresses, resolve_kapar, resolve_midar_with_obs, AliasSets};
 use as_rel::infer::{infer_relationships, InferenceConfig};
 use as_rel::AsRelationships;
 use bgp::{IpToAs, Rib};
 use net_types::Asn;
 use serde::{Deserialize, Serialize};
 use topo_gen::{GeneratorConfig, Internet, RouterId, Tier};
-use traceroute::sim::{probe_campaign, select_vps, ProbeConfig};
+use traceroute::sim::{probe_campaign_with_obs, select_vps, ProbeConfig};
 use traceroute::Trace;
 
 /// The four networks validated in the paper (§7): "a Tier-1 network, a
@@ -60,12 +60,25 @@ pub struct Scenario {
     pub rels: AsRelationships,
     /// The validation networks.
     pub validation: ValidationNetworks,
+    /// Telemetry recorder threaded through campaigns and experiment runs.
+    /// Disabled (no-op) unless the scenario was built with
+    /// [`Scenario::build_with_obs`]; either way inference results are
+    /// bit-identical.
+    pub obs: obs::Recorder,
 }
 
 impl Scenario {
-    /// Builds the scenario for a generator config.
+    /// Builds the scenario for a generator config, telemetry off.
     pub fn build(cfg: GeneratorConfig) -> Scenario {
-        let net = Internet::generate(cfg);
+        Scenario::build_with_obs(cfg, obs::Recorder::disabled())
+    }
+
+    /// Builds the scenario for a generator config, recording phase spans and
+    /// counters through `rec`. The recorder is kept on the scenario so
+    /// campaigns and [`run_bdrmapit`](crate::experiments::run_bdrmapit)
+    /// report into the same run.
+    pub fn build_with_obs(cfg: GeneratorConfig, rec: obs::Recorder) -> Scenario {
+        let net = Internet::generate_with_obs(cfg, &rec);
         let rib = net.build_rib();
         let ip2as = IpToAs::build(&rib, &net.addressing.delegations, &net.addressing.ixps);
         let rels = infer_relationships(&rib.collapsed_paths(), &InferenceConfig::default());
@@ -76,6 +89,7 @@ impl Scenario {
             ip2as,
             rels,
             validation,
+            obs: rec,
         }
     }
 
@@ -96,9 +110,9 @@ impl Scenario {
     /// Runs a campaign from explicit VP routers.
     pub fn campaign_from(&self, vps: &[RouterId], seed: u64) -> CorpusBundle {
         let probe_cfg = ProbeConfig::default();
-        let traces = probe_campaign(&self.net, vps, &probe_cfg);
+        let traces = probe_campaign_with_obs(&self.net, vps, &probe_cfg, &self.obs);
         let observed = observed_addresses(&traces);
-        let aliases = resolve_midar(&self.net, &observed, 0.9, seed);
+        let aliases = resolve_midar_with_obs(&self.net, &observed, 0.9, seed, &self.obs);
         CorpusBundle {
             traces,
             aliases,
@@ -116,9 +130,12 @@ impl Scenario {
             seed,
             ..ProbeConfig::default()
         };
-        let traces = traceroute::sim::reactive_campaign(&self.net, vp, &probe_cfg, 2);
+        let traces = {
+            let _span = self.obs.span(obs::names::PHASE_TRACEROUTE);
+            traceroute::sim::reactive_campaign(&self.net, vp, &probe_cfg, 2)
+        };
         let observed = observed_addresses(&traces);
-        let aliases = resolve_midar(&self.net, &observed, 0.9, seed);
+        let aliases = resolve_midar_with_obs(&self.net, &observed, 0.9, seed, &self.obs);
         CorpusBundle {
             traces,
             aliases,

@@ -1,0 +1,176 @@
+//! Typed counters and histograms.
+//!
+//! A [`MetricSheet`] is a plain, lock-free accumulator. Serial code records
+//! straight into the recorder's sheet; each parallel refinement worker owns
+//! a private sheet, and the engine merges them in worker-index order once
+//! the scoped pool has joined — a deterministic merge of deterministic
+//! per-decision counts, which is why total counter values are identical for
+//! every thread count.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An exact-value histogram: `value → occurrence count`.
+///
+/// Pipeline histogram samples (iterations per shard, wavefronts per shard)
+/// are small integers with tiny cardinality, so exact counts are cheaper
+/// than bucketing and keep the report bit-reproducible.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    values: BTreeMap<u64, u64>,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        *self.values.entry(value).or_insert(0) += 1;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&v, &n) in &other.values {
+            *self.values.entry(v).or_insert(0) += n;
+        }
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.values.values().sum()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.values.iter().map(|(&v, &n)| v * n).sum()
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.values.keys().next().copied()
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.values.keys().next_back().copied()
+    }
+
+    /// The raw `value → count` map.
+    pub fn values(&self) -> &BTreeMap<u64, u64> {
+        &self.values
+    }
+}
+
+/// A worker-local (or recorder-owned) metric accumulator.
+///
+/// Counters come in two classes: *deterministic* ([`MetricSheet::add`]) —
+/// per-decision counts that must match across thread counts — and
+/// *execution-dependent* ([`MetricSheet::add_exec`]) — cache hit rates and
+/// similar scheduling artifacts, reported for tuning but excluded from
+/// determinism comparisons.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricSheet {
+    pub(crate) counters: BTreeMap<&'static str, u64>,
+    pub(crate) exec: BTreeMap<&'static str, u64>,
+    pub(crate) hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricSheet {
+    /// An empty sheet.
+    pub fn new() -> MetricSheet {
+        MetricSheet::default()
+    }
+
+    /// Adds `n` to a deterministic counter.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Adds one to a deterministic counter.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to an execution-dependent counter.
+    pub fn add_exec(&mut self, name: &'static str, n: u64) {
+        *self.exec.entry(name).or_insert(0) += n;
+    }
+
+    /// Records one histogram sample.
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        self.hists.entry(name).or_default().record(value);
+    }
+
+    /// Folds `other` into this sheet (counters add, histograms merge).
+    pub fn merge(&mut self, other: &MetricSheet) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.exec {
+            *self.exec.entry(k).or_insert(0) += v;
+        }
+        for (&k, h) in &other.hists {
+            self.hists.entry(k).or_default().merge(h);
+        }
+    }
+
+    /// The value of a deterministic counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.exec.is_empty() && self.hists.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let mut h = Histogram::default();
+        for v in [3u64, 1, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 14);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(7));
+        assert_eq!(h.values().get(&3), Some(&2));
+        let empty = Histogram::default();
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.count(), 0);
+    }
+
+    #[test]
+    fn sheet_merge_is_order_insensitive_for_totals() {
+        let mut a = MetricSheet::new();
+        a.add("x", 2);
+        a.record("h", 5);
+        a.add_exec("e", 1);
+        let mut b = MetricSheet::new();
+        b.inc("x");
+        b.add("y", 4);
+        b.record("h", 5);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("x"), 3);
+        assert_eq!(ab.counter("y"), 4);
+        assert_eq!(ab.hists["h"].count(), 2);
+        assert_eq!(ab.exec["e"], 1);
+    }
+
+    #[test]
+    fn empty_sheet_reports_empty() {
+        assert!(MetricSheet::new().is_empty());
+        let mut s = MetricSheet::new();
+        s.inc("x");
+        assert!(!s.is_empty());
+        assert_eq!(s.counter("missing"), 0);
+    }
+}

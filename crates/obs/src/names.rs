@@ -1,0 +1,101 @@
+//! The span taxonomy and counter naming scheme (DESIGN.md §10).
+//!
+//! Names are `<subsystem>.<noun>` for counters and histograms, and phase
+//! spans follow the pipeline: the three synthetic input stages carry their
+//! subsystem name, the three bdrmapIT algorithm stages carry the paper's
+//! phase numbers. Keeping every name a `&'static str` constant here — rather
+//! than ad-hoc strings at call sites — is what makes the report
+//! schema-stable: a renamed counter is a compile-time event, not a silently
+//! forked time series.
+
+// ---- phase spans -----------------------------------------------------------
+
+/// Synthetic Internet generation (topo-gen).
+pub const PHASE_TOPO: &str = "topo.generate";
+/// Traceroute campaign simulation (traceroute).
+pub const PHASE_TRACEROUTE: &str = "traceroute.campaign";
+/// Alias resolution (alias).
+pub const PHASE_ALIAS: &str = "alias.resolve";
+/// bdrmapIT phase 1: IR graph construction (§4).
+pub const PHASE_GRAPH: &str = "phase1.graph";
+/// bdrmapIT phase 2: last-hop annotation (§5).
+pub const PHASE_LASTHOP: &str = "phase2.lasthop";
+/// bdrmapIT phase 3: iterative graph refinement (§6).
+pub const PHASE_REFINE: &str = "phase3.refine";
+/// Reading a dataset bundle from disk (`bdrmapit infer`).
+pub const PHASE_READ_BUNDLE: &str = "io.read_bundle";
+
+/// The five pipeline phases every complete synthetic run must traverse.
+/// [`crate::RunReport::validate`] fails when any is missing.
+pub const MANDATORY_PHASES: &[&str] = &[
+    PHASE_TOPO,
+    PHASE_TRACEROUTE,
+    PHASE_ALIAS,
+    PHASE_GRAPH,
+    PHASE_REFINE,
+];
+
+// ---- deterministic counters ------------------------------------------------
+// Identical for every `Config::threads` value; compared across thread counts
+// by the determinism suite.
+
+/// ASes in the generated topology.
+pub const TOPO_ASES: &str = "topo.ases";
+/// Routers in the generated topology.
+pub const TOPO_ROUTERS: &str = "topo.routers";
+/// Interfaces in the generated topology.
+pub const TOPO_IFACES: &str = "topo.ifaces";
+/// Traces collected by the campaign.
+pub const TRACEROUTE_TRACES: &str = "traceroute.traces";
+/// Total hop slots across all traces (responsive or not).
+pub const TRACEROUTE_HOPS: &str = "traceroute.hops";
+/// Responsive hops across all traces.
+pub const TRACEROUTE_RESPONSIVE_HOPS: &str = "traceroute.responsive_hops";
+/// Alias groups resolved.
+pub const ALIAS_GROUPS: &str = "alias.groups";
+/// Addresses placed in a (multi-address) alias group.
+pub const ALIAS_ALIASED_ADDRS: &str = "alias.aliased_addrs";
+/// Inferred routers in the IR graph.
+pub const GRAPH_IRS: &str = "graph.irs";
+/// IR→interface links in the IR graph.
+pub const GRAPH_LINKS: &str = "graph.links";
+/// Observed interfaces in the IR graph.
+pub const GRAPH_IFACES: &str = "graph.ifaces";
+/// IRs frozen by the last-hop phase.
+pub const LASTHOP_FROZEN: &str = "lasthop.frozen";
+/// Refinement runs executed (a report can cover several).
+pub const REFINE_RUNS: &str = "refine.runs";
+/// Refinement iterations (max across shards, summed over runs).
+pub const REFINE_ITERATIONS: &str = "refine.iterations";
+/// Shards in the refinement plans processed.
+pub const REFINE_SHARDS: &str = "refine.shards";
+/// Router annotations that changed value during a sweep.
+pub const REFINE_VOTES_CHANGED: &str = "refine.votes_changed";
+/// Routers carrying an annotation after refinement.
+pub const REFINE_ROUTERS_ANNOTATED: &str = "refine.routers_annotated";
+/// Hidden-AS detections that replaced an election result (§6.1.5).
+pub const REFINE_HIDDEN_FIRINGS: &str = "refine.hidden_firings";
+/// Election exceptions that fired (§6.1.3).
+pub const REFINE_EXCEPTION_FIRINGS: &str = "refine.exception_firings";
+/// Reallocated-prefix corrections applied (§6.1.2).
+pub const REFINE_REALLOC_FIRINGS: &str = "refine.realloc_firings";
+/// Link votes redirected by third-party detection (§6.1.1 lines 6–8).
+pub const REFINE_THIRD_PARTY_VOTES: &str = "refine.third_party_votes";
+
+// ---- deterministic histograms ----------------------------------------------
+
+/// Iterations to convergence, one sample per shard.
+pub const HIST_SHARD_ITERATIONS: &str = "refine.shard_iterations";
+/// Wavefront levels, one sample per shard.
+pub const HIST_SHARD_WAVEFRONTS: &str = "refine.shard_wavefronts";
+
+// ---- execution-dependent metrics -------------------------------------------
+// Vary with thread count and scheduling (per-worker caches); reported for
+// tuning but excluded from the deterministic view.
+
+/// RelQueryCache memo hits across all refinement workers.
+pub const EXEC_CACHE_HITS: &str = "asrel.cache_hits";
+/// RelQueryCache memo misses across all refinement workers.
+pub const EXEC_CACHE_MISSES: &str = "asrel.cache_misses";
+/// Worker slots the refinement engine actually used.
+pub const EXEC_REFINE_WORKERS: &str = "refine.workers";

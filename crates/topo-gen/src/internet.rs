@@ -67,6 +67,22 @@ pub struct Internet {
 impl Internet {
     /// Generates the whole Internet from a config. Deterministic.
     pub fn generate(cfg: GeneratorConfig) -> Internet {
+        Internet::generate_with_obs(cfg, &obs::Recorder::disabled())
+    }
+
+    /// [`Internet::generate`] under an observability span: records the
+    /// `topo.generate` phase and the topology size counters. The generated
+    /// Internet is bit-identical to the plain variant's.
+    pub fn generate_with_obs(cfg: GeneratorConfig, rec: &obs::Recorder) -> Internet {
+        let _span = rec.span(obs::names::PHASE_TOPO);
+        let net = Internet::generate_inner(cfg);
+        rec.add(obs::names::TOPO_ASES, net.graph.nodes.len() as u64);
+        rec.add(obs::names::TOPO_ROUTERS, net.topology.routers.len() as u64);
+        rec.add(obs::names::TOPO_IFACES, net.topology.ifaces.len() as u64);
+        net
+    }
+
+    fn generate_inner(cfg: GeneratorConfig) -> Internet {
         let graph = AsGraph::generate(&cfg);
         let addressing = Addressing::generate(&cfg, &graph);
         let topology = RouterTopology::generate(&cfg, &graph, &addressing);

@@ -339,6 +339,29 @@ pub fn probe_campaign(net: &Internet, vps: &[RouterId], cfg: &ProbeConfig) -> Ve
     per_vp.into_iter().flatten().collect()
 }
 
+/// [`probe_campaign`] under an observability span: records the
+/// `traceroute.campaign` phase and corpus size counters. The corpus is
+/// bit-identical to the plain variant's.
+pub fn probe_campaign_with_obs(
+    net: &Internet,
+    vps: &[RouterId],
+    cfg: &ProbeConfig,
+    rec: &obs::Recorder,
+) -> Vec<Trace> {
+    let _span = rec.span(obs::names::PHASE_TRACEROUTE);
+    let traces = probe_campaign(net, vps, cfg);
+    rec.add(obs::names::TRACEROUTE_TRACES, traces.len() as u64);
+    rec.add(
+        obs::names::TRACEROUTE_HOPS,
+        traces.iter().map(|t| t.hops.len() as u64).sum(),
+    );
+    rec.add(
+        obs::names::TRACEROUTE_RESPONSIVE_HOPS,
+        traces.iter().map(|t| t.responsive_count() as u64).sum(),
+    );
+    traces
+}
+
 /// Which /24-equivalent interface kinds a trace traversed — handy campaign
 /// statistics used by tests and the experiment drivers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]

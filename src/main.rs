@@ -1,0 +1,28 @@
+//! The `bdrmapit` binary. Lives in the workspace-root package so a plain
+//! `cargo run -- <command>` works from a fresh checkout; all the logic is in
+//! the unit-testable `bdrmapit-cli` library.
+
+#![forbid(unsafe_code)]
+
+use bdrmapit_cli::CliError;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = bdrmapit_cli::parse(&args)
+        .map_err(CliError::from)
+        .and_then(|cli| bdrmapit_cli::run(&cli));
+    match result {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::from(bdrmapit_cli::EXIT_SUCCESS)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("\n{}", bdrmapit_cli::USAGE);
+            }
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
