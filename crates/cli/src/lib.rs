@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod service;
 
 use eval::experiments::{aliases, heuristics, snapshots, stats, vps};
 use eval::Scenario;
@@ -88,6 +89,36 @@ pub enum Command {
     },
     /// Run the full synthetic pipeline end to end (all five phases).
     Pipeline,
+    /// Run the pipeline and freeze the result into a binary snapshot.
+    SnapshotWrite {
+        /// Output snapshot file.
+        out: PathBuf,
+    },
+    /// Print a snapshot's header, section table, and record counts.
+    SnapshotInspect {
+        /// Snapshot file to inspect.
+        file: PathBuf,
+    },
+    /// Serve a snapshot over TCP until terminated.
+    Serve {
+        /// Snapshot file to load.
+        snapshot: PathBuf,
+        /// Listen address (`host:port`; port 0 = OS-assigned).
+        addr: String,
+        /// Worker threads.
+        workers: usize,
+        /// Per-connection read timeout in seconds.
+        timeout_secs: u64,
+    },
+    /// Send one query to a running server.
+    Query {
+        /// Server address (`host:port`).
+        server: String,
+        /// Protocol verb.
+        verb: String,
+        /// The verb's argument (address, router id, or AS number).
+        arg: Option<String>,
+    },
     /// Usage text.
     Help,
 }
@@ -166,6 +197,19 @@ COMMANDS:
     infer --in DIR     run bdrmapIT from a bundle; writes annotations.csv/links.csv
     pipeline    run the full synthetic pipeline end to end: generate the
                 topology, probe, resolve aliases, build the IR graph, refine
+    snapshot write --out FILE
+                run the pipeline and freeze the result into a binary
+                bdrmapit.snapshot/v1 file (annotations, links, routers,
+                prefix->origin table; checksummed sections)
+    snapshot inspect --file FILE
+                print a snapshot's header, section table, and record counts
+                (doubles as an integrity check)
+    serve --snapshot FILE [--addr HOST:PORT] [--workers N] [--timeout SECS]
+                serve the snapshot over TCP (newline-delimited JSON protocol)
+                until terminated                 [default addr: 127.0.0.1:8642]
+    query VERB [ARG] [--server HOST:PORT]
+                query a running server; verbs: lookup_addr IP, lookup_prefix IP,
+                router ID, links_of_as ASN, stats. A miss exits 1 (like grep)
     generate    print a summary of the generated synthetic Internet
     stats       campaign statistics (Table 3 link labels, §5 coverage)
     fig15       single in-network VP: bdrmapIT vs bdrmap
@@ -190,6 +234,9 @@ EXIT CODES:
     0  success        1  runtime failure        2  usage error
 ";
 
+/// The default `host:port` for `serve` and `query`.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:8642";
+
 /// Parses a command line (excluding `argv[0]`).
 pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     let mut command = None;
@@ -199,7 +246,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     let mut threads = 0usize;
     let mut report: Option<PathBuf> = None;
     let mut trace = false;
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "probe" => {
@@ -218,13 +265,69 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                     input: PathBuf::new(),
                 });
             }
+            "snapshot" => {
+                if command.is_some() {
+                    return Err(ParseError("duplicate command".into()));
+                }
+                command = Some(match it.next().map(String::as_str) {
+                    Some("write") => Command::SnapshotWrite {
+                        out: PathBuf::new(),
+                    },
+                    Some("inspect") => Command::SnapshotInspect {
+                        file: PathBuf::new(),
+                    },
+                    other => {
+                        return Err(ParseError(format!(
+                            "snapshot requires write|inspect, got {other:?}"
+                        )))
+                    }
+                });
+            }
+            "serve" => {
+                if command.is_some() {
+                    return Err(ParseError("duplicate command".into()));
+                }
+                command = Some(Command::Serve {
+                    snapshot: PathBuf::new(),
+                    addr: DEFAULT_SERVE_ADDR.to_string(),
+                    workers: 4,
+                    timeout_secs: 30,
+                });
+            }
+            "query" => {
+                if command.is_some() {
+                    return Err(ParseError("duplicate command".into()));
+                }
+                let verb = it
+                    .next()
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or_else(|| ParseError("query requires a verb".into()))?
+                    .clone();
+                let arg = it
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .map(|v| (*v).clone());
+                if arg.is_some() {
+                    it.next();
+                }
+                command = Some(Command::Query {
+                    server: DEFAULT_SERVE_ADDR.to_string(),
+                    verb,
+                    arg,
+                });
+            }
             "--out" => {
                 let v = it
                     .next()
                     .ok_or_else(|| ParseError("--out needs a value".into()))?;
                 match &mut command {
                     Some(Command::Probe { out }) => *out = PathBuf::from(v),
-                    _ => return Err(ParseError("--out only applies to probe".into())),
+                    Some(Command::SnapshotWrite { out }) => *out = PathBuf::from(v),
+                    _ => {
+                        return Err(ParseError(
+                            "--out only applies to probe and snapshot write".into(),
+                        ))
+                    }
                 }
             }
             "--in" => {
@@ -234,6 +337,66 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 match &mut command {
                     Some(Command::Infer { input }) => *input = PathBuf::from(v),
                     _ => return Err(ParseError("--in only applies to infer".into())),
+                }
+            }
+            "--file" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--file needs a value".into()))?;
+                match &mut command {
+                    Some(Command::SnapshotInspect { file }) => *file = PathBuf::from(v),
+                    _ => return Err(ParseError("--file only applies to snapshot inspect".into())),
+                }
+            }
+            "--snapshot" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--snapshot needs a value".into()))?;
+                match &mut command {
+                    Some(Command::Serve { snapshot, .. }) => *snapshot = PathBuf::from(v),
+                    _ => return Err(ParseError("--snapshot only applies to serve".into())),
+                }
+            }
+            "--addr" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--addr needs a value".into()))?;
+                match &mut command {
+                    Some(Command::Serve { addr, .. }) => *addr = v.clone(),
+                    _ => return Err(ParseError("--addr only applies to serve".into())),
+                }
+            }
+            "--server" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--server needs a value".into()))?;
+                match &mut command {
+                    Some(Command::Query { server, .. }) => *server = v.clone(),
+                    _ => return Err(ParseError("--server only applies to query".into())),
+                }
+            }
+            "--workers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--workers needs a value".into()))?;
+                let n = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad worker count {v:?}")))?;
+                match &mut command {
+                    Some(Command::Serve { workers, .. }) => *workers = n,
+                    _ => return Err(ParseError("--workers only applies to serve".into())),
+                }
+            }
+            "--timeout" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--timeout needs a value".into()))?;
+                let n = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad timeout {v:?}")))?;
+                match &mut command {
+                    Some(Command::Serve { timeout_secs, .. }) => *timeout_secs = n,
+                    _ => return Err(ParseError("--timeout only applies to serve".into())),
                 }
             }
             "generate" | "stats" | "pipeline" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19"
@@ -309,6 +472,15 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         Command::Infer { input } if input.as_os_str().is_empty() => {
             return Err(ParseError("infer requires --in DIR".into()))
         }
+        Command::SnapshotWrite { out } if out.as_os_str().is_empty() => {
+            return Err(ParseError("snapshot write requires --out FILE".into()))
+        }
+        Command::SnapshotInspect { file } if file.as_os_str().is_empty() => {
+            return Err(ParseError("snapshot inspect requires --file FILE".into()))
+        }
+        Command::Serve { snapshot, .. } if snapshot.as_os_str().is_empty() => {
+            return Err(ParseError("serve requires --snapshot FILE".into()))
+        }
         _ => {}
     }
     let default_vps = match scale {
@@ -363,6 +535,17 @@ fn run_with_obs(cli: &Cli, rec: &obs::Recorder) -> Result<String, CliError> {
         }
         Command::Infer { input } => {
             return dataset::infer_from_bundle(input, cli.threads, rec).map_err(runtime);
+        }
+        Command::SnapshotWrite { out } => return service::snapshot_write(cli, out, rec),
+        Command::SnapshotInspect { file } => return service::snapshot_inspect(file),
+        Command::Serve {
+            snapshot,
+            addr,
+            workers,
+            timeout_secs,
+        } => return service::serve_cmd(snapshot, addr, *workers, *timeout_secs, rec),
+        Command::Query { server, verb, arg } => {
+            return service::query_cmd(server, verb, arg.as_deref());
         }
         _ => {}
     }
@@ -475,7 +658,13 @@ fn run_with_obs(cli: &Cli, rec: &obs::Recorder) -> Result<String, CliError> {
                 heuristics::ablation(&s, cli.vps, cli.seed).render()
             );
         }
-        Command::Help | Command::Probe { .. } | Command::Infer { .. } => {
+        Command::Help
+        | Command::Probe { .. }
+        | Command::Infer { .. }
+        | Command::SnapshotWrite { .. }
+        | Command::SnapshotInspect { .. }
+        | Command::Serve { .. }
+        | Command::Query { .. } => {
             unreachable!("handled above")
         }
     }
@@ -610,6 +799,92 @@ mod tests {
             assert!(report.phases.contains_key(*phase), "missing {phase}");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_snapshot_commands() {
+        let cli = parse(&args(&["snapshot", "write", "--out", "x.snap"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::SnapshotWrite {
+                out: PathBuf::from("x.snap")
+            }
+        );
+        let cli = parse(&args(&["snapshot", "inspect", "--file", "x.snap"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::SnapshotInspect {
+                file: PathBuf::from("x.snap")
+            }
+        );
+        assert!(parse(&args(&["snapshot"])).is_err());
+        assert!(parse(&args(&["snapshot", "rewind"])).is_err());
+        assert!(parse(&args(&["snapshot", "write"])).is_err());
+        assert!(parse(&args(&["snapshot", "inspect"])).is_err());
+        assert!(parse(&args(&["snapshot", "inspect", "--out", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        let cli = parse(&args(&["serve", "--snapshot", "x.snap"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                snapshot: PathBuf::from("x.snap"),
+                addr: DEFAULT_SERVE_ADDR.to_string(),
+                workers: 4,
+                timeout_secs: 30,
+            }
+        );
+        let cli = parse(&args(&[
+            "serve",
+            "--snapshot",
+            "x.snap",
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "8",
+            "--timeout",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                snapshot: PathBuf::from("x.snap"),
+                addr: "0.0.0.0:9000".to_string(),
+                workers: 8,
+                timeout_secs: 5,
+            }
+        );
+        assert!(parse(&args(&["serve"])).is_err(), "snapshot is required");
+        assert!(parse(&args(&["serve", "--snapshot", "x", "--workers", "lots"])).is_err());
+        assert!(parse(&args(&["pipeline", "--addr", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_query_verbs_and_args() {
+        let cli = parse(&args(&["query", "lookup_addr", "10.0.0.1"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Query {
+                server: DEFAULT_SERVE_ADDR.to_string(),
+                verb: "lookup_addr".to_string(),
+                arg: Some("10.0.0.1".to_string()),
+            }
+        );
+        let cli = parse(&args(&["query", "stats", "--server", "127.0.0.1:9"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Query {
+                server: "127.0.0.1:9".to_string(),
+                verb: "stats".to_string(),
+                arg: None,
+            }
+        );
+        assert!(parse(&args(&["query"])).is_err(), "verb is required");
+        assert!(parse(&args(&["query", "--server", "x"])).is_err());
+        assert!(parse(&args(&["stats", "--server", "x"])).is_err());
     }
 
     #[test]

@@ -54,12 +54,15 @@ fn allow_inventory_does_not_silently_grow() {
     }
     let expected: std::collections::BTreeMap<&str, usize> = [
         // as-rel memo tables (2), core graph hot-path table, refine
-        // duplicate filter.
-        ("unordered-collection", 4),
+        // duplicate filter, snapshot interface→router hash index (read-only
+        // after construction; query answers never iterate it).
+        ("unordered-collection", 5),
         // eval metric folds in tests.
         ("float-accum", 4),
-        // traceroute campaign input-generation parallelism.
-        ("unscoped-thread", 1),
+        // traceroute campaign input-generation parallelism, serve's
+        // request-serving worker pool + background accept-loop host,
+        // serve's concurrent-clients e2e test, bench-serve load clients.
+        ("unscoped-thread", 5),
         // obs::MonotonicClock — the workspace's only sanctioned wall-clock
         // read (see the sole-clock assertion below).
         ("nondet-source", 1),

@@ -99,3 +99,10 @@ pub const EXEC_CACHE_HITS: &str = "asrel.cache_hits";
 pub const EXEC_CACHE_MISSES: &str = "asrel.cache_misses";
 /// Worker slots the refinement engine actually used.
 pub const EXEC_REFINE_WORKERS: &str = "refine.workers";
+/// Connections accepted by the query server. Traffic-driven, so every
+/// serve counter is execution-dependent by construction.
+pub const EXEC_SERVE_CONNECTIONS: &str = "serve.connections";
+/// Request lines the query server dispatched.
+pub const EXEC_SERVE_REQUESTS: &str = "serve.requests";
+/// Malformed requests, read timeouts, and socket errors at the server.
+pub const EXEC_SERVE_ERRORS: &str = "serve.errors";

@@ -1,0 +1,71 @@
+//! A minimal blocking client for the query protocol, shared by the `query`
+//! CLI command, the load generator, and the end-to-end tests.
+
+use crate::protocol::{Request, Response};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One persistent connection to a query server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Client::over(stream)
+    }
+
+    /// Wraps an already-established stream.
+    pub fn over(stream: TcpStream) -> io::Result<Client> {
+        stream.set_nodelay(true)?; // request/response lines, Nagle poison
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sets the response-read timeout.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Sends one request and reads its response line.
+    pub fn call(&mut self, req: &Request) -> io::Result<Response> {
+        let mut text = serde_json::to_string(req)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        text.push('\n');
+        self.writer.write_all(text.as_bytes())?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Sends one raw request line (not necessarily valid JSON) and reads
+    /// the raw response line — the escape hatch for protocol tests and the
+    /// CLI's pass-through mode.
+    pub fn call_raw(&mut self, line: &str) -> io::Result<String> {
+        let mut text = line.to_string();
+        text.push('\n');
+        self.writer.write_all(text.as_bytes())?;
+        let mut out = String::new();
+        if self.reader.read_line(&mut out)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(out.trim_end().to_string())
+    }
+}

@@ -1,0 +1,177 @@
+//! The corrupt-input error taxonomy.
+//!
+//! Every way a snapshot can fail to load has its own typed variant: loaders
+//! must never panic on arbitrary bytes and never return a partially-parsed
+//! result. The variants carry enough context (section, record index, stored
+//! vs computed checksums) for an operator to locate the corruption.
+
+use std::fmt;
+
+/// The four v1 section identifiers, in their required file order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SectionId {
+    /// Per-interface annotation rows (id 1).
+    Annotations = 1,
+    /// Inferred interdomain links (id 2).
+    Links = 2,
+    /// Router membership (id 3).
+    Routers = 3,
+    /// Prefix → origin-AS table (id 4).
+    Prefixes = 4,
+}
+
+impl SectionId {
+    /// All sections in required file order.
+    pub const ALL: [SectionId; 4] = [
+        SectionId::Annotations,
+        SectionId::Links,
+        SectionId::Routers,
+        SectionId::Prefixes,
+    ];
+
+    /// The wire id.
+    pub fn id(self) -> u32 {
+        self as u32
+    }
+
+    /// Human name (used by `snapshot inspect`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionId::Annotations => "annotations",
+            SectionId::Links => "links",
+            SectionId::Routers => "routers",
+            SectionId::Prefixes => "prefixes",
+        }
+    }
+}
+
+impl fmt::Display for SectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything that can go wrong reading a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Underlying I/O failure (message of the `io::Error`).
+    Io(String),
+    /// The first eight bytes are not the v1 magic.
+    BadMagic {
+        /// The bytes actually found (zero-padded if the file is shorter).
+        found: [u8; 8],
+    },
+    /// The version field names a format this reader does not speak.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u32,
+    },
+    /// v1 snapshots carry exactly four sections.
+    BadSectionCount {
+        /// The count actually found.
+        found: u32,
+    },
+    /// The section table names an id out of v1's fixed order (covers
+    /// unknown, duplicated, and reordered sections alike).
+    UnexpectedSection {
+        /// Zero-based position in the section table.
+        index: u32,
+        /// The id actually found there.
+        found: u32,
+    },
+    /// The file ended before a region could be read in full.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+        /// Bytes the region required.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// The header/table checksum does not match the stored value.
+    MetaChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the bytes read.
+        computed: u64,
+    },
+    /// A section payload's checksum does not match its table entry.
+    SectionChecksumMismatch {
+        /// The damaged section.
+        section: SectionId,
+        /// Checksum stored in the table.
+        stored: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// Bytes remain after the last section payload.
+    TrailingBytes {
+        /// How many.
+        count: u64,
+    },
+    /// A record inside a section does not decode.
+    Malformed {
+        /// The section holding the record.
+        section: SectionId,
+        /// Zero-based record index.
+        record: u64,
+        /// Why it failed to decode.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a bdrmapit snapshot (magic {found:02x?})")
+            }
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found} (this reader speaks v1)")
+            }
+            SnapshotError::BadSectionCount { found } => {
+                write!(f, "v1 snapshots carry 4 sections, found {found}")
+            }
+            SnapshotError::UnexpectedSection { index, found } => {
+                write!(f, "section table slot {index} holds id {found}, out of v1 order")
+            }
+            SnapshotError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {what}: needed {needed} bytes, {available} available"
+            ),
+            SnapshotError::MetaChecksumMismatch { stored, computed } => write!(
+                f,
+                "header/table checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotError::SectionChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "{section} section checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotError::TrailingBytes { count } => {
+                write!(f, "{count} trailing byte(s) after the last section")
+            }
+            SnapshotError::Malformed {
+                section,
+                record,
+                reason,
+            } => write!(f, "{section} record {record} malformed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(e.to_string())
+    }
+}

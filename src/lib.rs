@@ -8,5 +8,8 @@ pub use bgp;
 pub use eval;
 pub use mapit;
 pub use net_types;
+pub use obs;
+pub use serve;
+pub use snapshot;
 pub use topo_gen;
 pub use traceroute;

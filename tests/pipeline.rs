@@ -10,6 +10,138 @@ use bdrmapit::eval::Scenario;
 use bdrmapit::topo_gen::GeneratorConfig;
 use bdrmapit::traceroute::io::{read_jsonl, write_jsonl};
 
+/// Manual longest-prefix match over the origin table: the independent
+/// oracle the snapshot trie is checked against.
+fn lpm(
+    table: &[(bdrmapit::net_types::Prefix, bdrmapit::net_types::Asn)],
+    addr: u32,
+) -> Option<(bdrmapit::net_types::Prefix, bdrmapit::net_types::Asn)> {
+    table
+        .iter()
+        .filter(|(p, _)| {
+            let shift = 32 - u32::from(p.len());
+            p.is_empty() || (addr >> shift) == (p.addr() >> shift)
+        })
+        .max_by_key(|(p, _)| p.len())
+        .copied()
+}
+
+/// End-to-end acceptance for the serving path: run the pipeline, write the
+/// CSV artifacts AND the binary snapshot from the same result, serve the
+/// snapshot over loopback, and check that every query answer is identical
+/// to what grepping the CSVs would return.
+#[test]
+fn snapshot_service_answers_match_csv_outputs() {
+    use bdrmapit::core::output;
+    use bdrmapit::serve::{Client, Request, Server, ServerConfig};
+    use bdrmapit::snapshot::{Snapshot, SnapshotData};
+    use std::sync::Arc;
+
+    let s = Scenario::build(GeneratorConfig::tiny(601));
+    let bundle = s.campaign(5, true, 601);
+    let result =
+        Bdrmapit::new(Config::default()).run(&bundle.traces, &bundle.aliases, &s.ip2as, &s.rels);
+
+    // The flat-file artifacts, written and read back through core::output.
+    let mut ann_csv = Vec::new();
+    output::write_annotations(&mut ann_csv, &result).expect("write annotations");
+    let ann_rows = output::read_annotations(&ann_csv[..]).expect("read annotations");
+    let mut link_csv = Vec::new();
+    output::write_links(&mut link_csv, &result).expect("write links");
+    let link_rows = output::read_links(&link_csv[..]).expect("read links");
+    assert!(
+        !ann_rows.is_empty(),
+        "tiny scenario produced no annotations"
+    );
+
+    // The same result frozen to a snapshot and served.
+    let table = s.rib.origin_table();
+    let data = SnapshotData::from_annotated(&result, &table);
+    let bytes = bdrmapit::snapshot::to_bytes(&data);
+    let snap = Snapshot::from_bytes(&bytes).expect("snapshot loads");
+    let running = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(snap),
+        ServerConfig::default(),
+        bdrmapit::obs::Recorder::disabled(),
+    )
+    .expect("bind loopback")
+    .spawn_background();
+    let mut client = Client::connect(running.addr()).expect("connect");
+
+    // stats mirrors the artifact row counts.
+    let stats = client.call(&Request::verb("stats")).expect("stats");
+    let st = stats.stats.expect("stats payload");
+    assert_eq!(st.annotations as usize, ann_rows.len());
+    assert_eq!(st.links as usize, link_rows.len());
+
+    // Every annotation row answers identically over the wire.
+    for row in &ann_rows {
+        let mut req = Request::verb("lookup_addr");
+        req.addr = Some(bdrmapit::net_types::format_ipv4(row.addr));
+        let resp = client.call(&req).expect("lookup_addr");
+        assert_eq!(
+            resp.found,
+            Some(true),
+            "{}",
+            bdrmapit::net_types::format_ipv4(row.addr)
+        );
+        assert_eq!(resp.ir, Some(row.ir));
+        assert_eq!(resp.asn, Some(row.asn.0));
+        assert_eq!(resp.origin, Some(row.origin.0));
+        assert_eq!(resp.conn, Some(row.conn.0));
+    }
+
+    // links_of_as returns exactly the CSV's rows touching that operator
+    // (the server matches an AS on either side of the link).
+    let mut operators: Vec<u32> = link_rows.iter().map(|l| l.ir_as.0).collect();
+    operators.sort_unstable();
+    operators.dedup();
+    for asn in operators {
+        let mut req = Request::verb("links_of_as");
+        req.asn = Some(asn);
+        let resp = client.call(&req).expect("links_of_as");
+        let mut served: Vec<(u32, String, u32, bool)> = resp
+            .links
+            .expect("links payload")
+            .into_iter()
+            .map(|l| (l.ir_as, l.iface_addr, l.conn_as, l.last_hop))
+            .collect();
+        served.sort();
+        let mut expected: Vec<(u32, String, u32, bool)> = link_rows
+            .iter()
+            .filter(|l| l.ir_as.0 == asn || l.conn_as.0 == asn)
+            .map(|l| {
+                (
+                    l.ir_as.0,
+                    bdrmapit::net_types::format_ipv4(l.iface_addr),
+                    l.conn_as.0,
+                    l.last_hop,
+                )
+            })
+            .collect();
+        expected.sort();
+        assert_eq!(served, expected, "links_of_as {asn}");
+    }
+
+    // lookup_prefix agrees with an independent longest-prefix match.
+    for row in ann_rows.iter().take(64) {
+        let mut req = Request::verb("lookup_prefix");
+        req.addr = Some(bdrmapit::net_types::format_ipv4(row.addr));
+        let resp = client.call(&req).expect("lookup_prefix");
+        match lpm(&table, row.addr) {
+            Some((p, asn)) => {
+                assert_eq!(resp.found, Some(true));
+                assert_eq!(resp.prefix.as_deref(), Some(p.to_string().as_str()));
+                assert_eq!(resp.origin, Some(asn.0));
+            }
+            None => assert_eq!(resp.found, Some(false)),
+        }
+    }
+
+    running.shutdown();
+}
+
 #[test]
 fn traces_survive_disk_roundtrip_with_identical_inference() {
     let s = Scenario::build(GeneratorConfig::tiny(501));
