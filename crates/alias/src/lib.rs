@@ -85,6 +85,18 @@ impl AliasSets {
         self.groups.iter()
     }
 
+    /// The groups keyed by dense interned ids: each group's members that
+    /// were actually observed (present in `interner`), in ascending id
+    /// order. Groups come back in dataset order; addresses the interner
+    /// never saw are dropped, so a group can shrink below two members (the
+    /// caller decides whether such remnants still merge anything).
+    pub fn interned_groups(&self, interner: &net_types::AddrInterner) -> Vec<Vec<u32>> {
+        self.groups
+            .iter()
+            .map(|g| g.iter().filter_map(|&a| interner.id(a)).collect())
+            .collect()
+    }
+
     /// Serializes to the ITDK nodes-file format.
     pub fn to_nodes_file(&self) -> String {
         let mut out = String::from("# ITDK-style nodes file: node <id>: <addr> <addr> ...\n");

@@ -91,6 +91,51 @@ fn bench_refine_threads(c: &mut Criterion) {
     g.finish();
 }
 
+/// Front-end thread sweep: the sharded probe campaign and the interned
+/// phase-1 graph build at 1/2/4 workers. Output is bit-identical across the
+/// sweep (enforced by `tests/front_end_determinism.rs`), so — as with the
+/// refinement sweep above — this measures pure scheduling.
+fn bench_front_end_threads(c: &mut Criterion) {
+    let fx = bench::Fixture::standard();
+    let s = &fx.scenario;
+    let cones = CustomerCones::compute(&s.rels);
+    let probe_cfg = traceroute::sim::ProbeConfig::default();
+
+    let mut g = c.benchmark_group("front_end");
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("campaign_threads", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    traceroute::sim::probe_campaign_sharded(&s.net, &fx.bundle.vps, &probe_cfg, t)
+                });
+            },
+        );
+        let cfg = Config {
+            threads,
+            ..Config::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("graph_threads", threads),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    IrGraph::build(
+                        &fx.bundle.traces,
+                        &fx.bundle.aliases,
+                        &s.ip2as,
+                        cfg,
+                        &s.rels,
+                        &cones,
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_full_algorithm(c: &mut Criterion) {
     let mut g = c.benchmark_group("bdrmapit_end_to_end");
     g.sample_size(10);
@@ -150,6 +195,6 @@ fn bench_baselines(c: &mut Criterion) {
 criterion_group! {
     name = pipeline;
     config = Criterion::default().sample_size(20);
-    targets = bench_phases, bench_refine_threads, bench_full_algorithm, bench_baselines
+    targets = bench_phases, bench_refine_threads, bench_front_end_threads, bench_full_algorithm, bench_baselines
 }
 criterion_main!(pipeline);

@@ -1,38 +1,194 @@
-//! Writes `BENCH_pipeline.json`: per-phase wall times and iteration counts
-//! for a standard tiny-scale pipeline run, sourced from the observability
-//! [`RunReport`](obs::RunReport).
+//! Writes `BENCH_pipeline.json` (`bdrmapit.bench-pipeline/v2`): a thread
+//! sweep (1/2/4/8 workers) of the instrumented pipeline at two scales, with
+//! per-phase wall times, a `speedup` section for the parallelized phases,
+//! and a structural output hash per run.
 //!
-//! Unlike the Criterion benches (statistical, minutes), this is a single
-//! instrumented run (seconds) — cheap enough for CI to produce on every
+//! Unlike the Criterion benches (statistical, minutes), this is a handful
+//! of instrumented runs (seconds) — cheap enough for CI to produce on every
 //! push, so the perf trajectory of each phase accumulates as build
-//! artifacts. Usage: `bench-pipeline [OUTPUT_PATH]` (default
-//! `BENCH_pipeline.json` in the current directory).
+//! artifacts. The output hash doubles as a determinism gate: the process
+//! exits nonzero if any thread count's output diverges from the serial run,
+//! so the CI `bench-sweep` job fails loudly on a determinism regression.
+//!
+//! Usage: `bench-pipeline [OUTPUT_PATH]` (default `BENCH_pipeline.json` in
+//! the current directory).
 
 #![forbid(unsafe_code)]
 
-use bdrmapit_core::Config;
+use bdrmapit_core::{Annotated, Config};
 use eval::experiments::run_bdrmapit;
 use eval::Scenario;
 use obs::names;
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 use topo_gen::GeneratorConfig;
 
 const SEED: u64 = 2018;
-const VPS: usize = 8;
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// The phases whose scaling the sweep reports: the two front-end phases
+/// parallelized here, their combination, and the PR-1 refinement engine.
+const SWEPT_PHASES: [&str; 3] = [
+    names::PHASE_TRACEROUTE,
+    names::PHASE_GRAPH,
+    names::PHASE_REFINE,
+];
+const FRONT_END_COMBINED: &str = "front_end_combined";
 
-/// The benchmark document: run parameters, headline numbers, and the full
-/// run report (whose `phases` map carries the per-phase wall times).
+/// The benchmark document: run parameters plus one sweep per scale.
 #[derive(Serialize)]
 struct BenchDoc {
     schema: &'static str,
-    scale: &'static str,
     seed: u64,
+    threads_swept: Vec<usize>,
+    scales: Vec<ScaleDoc>,
+}
+
+/// One scale's thread sweep.
+#[derive(Serialize)]
+struct ScaleDoc {
+    scale: &'static str,
     vps: usize,
     iterations: u64,
     routers_annotated: u64,
     interdomain_links: usize,
-    report: obs::RunReport,
+    /// Structural hash of the serial (threads = 1) run's output.
+    output_hash: String,
+    /// True iff every swept thread count reproduced `output_hash`.
+    hashes_consistent: bool,
+    /// Wall(1) / wall(N) per phase, keyed phase → thread count.
+    speedup: BTreeMap<&'static str, BTreeMap<String, f64>>,
+    runs: Vec<RunDoc>,
+    /// Full run report of the serial baseline.
+    baseline_report: obs::RunReport,
+}
+
+/// One pipeline run at a fixed thread count.
+#[derive(Serialize)]
+struct RunDoc {
+    threads: usize,
+    output_hash: String,
+    phase_wall_ms: BTreeMap<String, f64>,
+}
+
+/// The observable output of one pipeline run, in canonical (sorted-map,
+/// fixed field order) JSON form for hashing.
+#[derive(Serialize)]
+struct OutputDoc<'a> {
+    routers: Vec<(u32, net_types::Asn)>,
+    links: Vec<bdrmapit_core::InferredLink>,
+    ifaces: &'a [net_types::Asn],
+    convergence: &'a [Vec<u64>],
+    counters: &'a BTreeMap<String, u64>,
+    histograms: &'a BTreeMap<String, obs::HistogramSummary>,
+}
+
+/// FNV-1a over a canonical JSON rendering of everything downstream
+/// consumers can observe: annotations, links, convergence traces, and the
+/// deterministic counter/histogram slice of the run report. Wall times and
+/// exec counters (worker slots, cache hit splits) are excluded by
+/// construction — they legitimately vary with the thread count.
+fn output_hash(result: &Annotated, report: &obs::RunReport) -> u64 {
+    let doc = OutputDoc {
+        routers: result.router_annotations(),
+        links: result.interdomain_links(),
+        ifaces: &result.state.iface,
+        convergence: &result.state.convergence_traces,
+        counters: &report.counters,
+        histograms: &report.histograms,
+    };
+    let text = serde_json::to_string(&doc).expect("output document serializes");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One instrumented pipeline run; returns the annotated result and report.
+fn run_once(gen_cfg: GeneratorConfig, vps: usize, threads: usize) -> (Annotated, obs::RunReport) {
+    let rec = obs::Recorder::new(false);
+    let mut scenario = Scenario::build_with_obs(gen_cfg, rec.clone());
+    scenario.threads = threads;
+    let bundle = scenario.campaign(vps, true, SEED);
+    let cfg = Config {
+        threads,
+        ..Config::default()
+    };
+    let result = run_bdrmapit(&scenario, &bundle, cfg);
+    (result, rec.report())
+}
+
+fn sweep_scale(
+    scale: &'static str,
+    gen_cfg: &GeneratorConfig,
+    vps: usize,
+) -> Result<ScaleDoc, String> {
+    let mut runs = Vec::new();
+    let mut baseline: Option<(Annotated, obs::RunReport)> = None;
+    for &threads in &THREAD_SWEEP {
+        let (result, report) = run_once(gen_cfg.clone(), vps, threads);
+        report
+            .validate()
+            .map_err(|e| format!("{scale} threads={threads}: incomplete run report: {e}"))?;
+        let phase_wall_ms = report
+            .phases
+            .iter()
+            .map(|(name, stats)| (name.clone(), stats.wall_ms))
+            .collect();
+        runs.push(RunDoc {
+            threads,
+            output_hash: format!("{:#018x}", output_hash(&result, &report)),
+            phase_wall_ms,
+        });
+        if baseline.is_none() {
+            baseline = Some((result, report));
+        }
+    }
+    let (result, report) = baseline.expect("sweep ran at least once");
+
+    let serial_hash = runs[0].output_hash.clone();
+    let hashes_consistent = runs.iter().all(|r| r.output_hash == serial_hash);
+
+    // Speedup = serial wall time over parallel wall time, per swept phase
+    // plus the combined front-end (campaign + graph build together).
+    let wall = |run: &RunDoc, phase: &str| run.phase_wall_ms.get(phase).copied().unwrap_or(0.0);
+    let front_end =
+        |run: &RunDoc| wall(run, names::PHASE_TRACEROUTE) + wall(run, names::PHASE_GRAPH);
+    let mut speedup: BTreeMap<&'static str, BTreeMap<String, f64>> = BTreeMap::new();
+    for run in &runs {
+        for phase in SWEPT_PHASES {
+            let base = wall(&runs[0], phase);
+            let now = wall(run, phase);
+            if now > 0.0 {
+                speedup
+                    .entry(phase)
+                    .or_default()
+                    .insert(run.threads.to_string(), base / now);
+            }
+        }
+        let now = front_end(run);
+        if now > 0.0 {
+            speedup
+                .entry(FRONT_END_COMBINED)
+                .or_default()
+                .insert(run.threads.to_string(), front_end(&runs[0]) / now);
+        }
+    }
+
+    let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+    Ok(ScaleDoc {
+        scale,
+        vps,
+        iterations: counter(names::REFINE_ITERATIONS),
+        routers_annotated: counter(names::REFINE_ROUTERS_ANNOTATED),
+        interdomain_links: result.interdomain_links().len(),
+        output_hash: serial_hash,
+        hashes_consistent,
+        speedup,
+        runs,
+        baseline_report: report,
+    })
 }
 
 fn main() -> ExitCode {
@@ -40,27 +196,25 @@ fn main() -> ExitCode {
         .nth(1)
         .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
 
-    let rec = obs::Recorder::new(false);
-    let scenario = Scenario::build_with_obs(GeneratorConfig::tiny(SEED), rec.clone());
-    let bundle = scenario.campaign(VPS, true, SEED);
-    let result = run_bdrmapit(&scenario, &bundle, Config::default());
-    let report = rec.report();
-
-    if let Err(e) = report.validate() {
-        eprintln!("bench-pipeline: incomplete run report: {e}");
-        return ExitCode::FAILURE;
+    let mut scales = Vec::new();
+    for (scale, gen_cfg, vps) in [
+        ("tiny", GeneratorConfig::tiny(SEED), 8),
+        ("small", GeneratorConfig::small(SEED), 12),
+    ] {
+        match sweep_scale(scale, &gen_cfg, vps) {
+            Ok(doc) => scales.push(doc),
+            Err(e) => {
+                eprintln!("bench-pipeline: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
-    let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
     let doc = BenchDoc {
-        schema: "bdrmapit.bench-pipeline/v1",
-        scale: "tiny",
+        schema: "bdrmapit.bench-pipeline/v2",
         seed: SEED,
-        vps: VPS,
-        iterations: counter(names::REFINE_ITERATIONS),
-        routers_annotated: counter(names::REFINE_ROUTERS_ANNOTATED),
-        interdomain_links: result.interdomain_links().len(),
-        report,
+        threads_swept: THREAD_SWEEP.to_vec(),
+        scales,
     };
     let text = serde_json::to_string_pretty(&doc).expect("bench document serializes");
     if let Err(e) = std::fs::write(&out, text) {
@@ -68,5 +222,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {out}");
+
+    // Determinism gate: a thread count that changed the output is a bug,
+    // and CI must see it even though the artifact was written above.
+    for scale in &doc.scales {
+        if !scale.hashes_consistent {
+            eprintln!(
+                "bench-pipeline: output hashes diverged across the thread sweep at scale {} \
+                 (serial {}): determinism contract violated",
+                scale.scale, scale.output_hash
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "{}: output {} identical across threads {:?}",
+            scale.scale, scale.output_hash, THREAD_SWEEP
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -60,12 +60,15 @@ pub struct GroundTruth {
     pub owners: Vec<(u32, Asn)>,
 }
 
-/// Writes a complete synthetic dataset bundle.
+/// Writes a complete synthetic dataset bundle. `threads` sizes the sharded
+/// campaign's worker pool (0 = ask the OS); the bundle contents are
+/// bit-identical for every value.
 pub fn write_bundle(
     dir: &Path,
     gen_cfg: GeneratorConfig,
     vps: usize,
     seed: u64,
+    threads: usize,
     rec: &obs::Recorder,
 ) -> io::Result<String> {
     fs::create_dir_all(dir)?;
@@ -75,7 +78,8 @@ pub fn write_bundle(
         ..ProbeConfig::default()
     };
     let vp_routers = traceroute::sim::select_vps(&s.net, vps, &[], seed);
-    let traces = traceroute::sim::probe_campaign_with_obs(&s.net, &vp_routers, &probe_cfg, rec);
+    let traces =
+        traceroute::sim::probe_campaign_with_obs(&s.net, &vp_routers, &probe_cfg, threads, rec);
     let observed = alias::observed_addresses(&traces);
     let aliases = alias::resolve_midar_with_obs(&s.net, &observed, 0.9, seed, rec);
 
@@ -251,7 +255,7 @@ mod tests {
     fn bundle_roundtrip_scores_against_truth() {
         let dir = tmpdir("roundtrip");
         let rec = obs::Recorder::disabled();
-        let report = write_bundle(&dir, GeneratorConfig::tiny(404), 4, 404, &rec).unwrap();
+        let report = write_bundle(&dir, GeneratorConfig::tiny(404), 4, 404, 2, &rec).unwrap();
         assert!(report.contains("wrote"));
         for f in [
             files::TRACES,
@@ -286,7 +290,7 @@ mod tests {
     fn infer_without_truth_still_runs() {
         let dir = tmpdir("no-truth");
         let rec = obs::Recorder::disabled();
-        write_bundle(&dir, GeneratorConfig::tiny(405), 3, 405, &rec).unwrap();
+        write_bundle(&dir, GeneratorConfig::tiny(405), 3, 405, 1, &rec).unwrap();
         fs::remove_file(dir.join(files::TRUTH)).unwrap();
         let report = infer_from_bundle(&dir, 1, &rec).unwrap();
         assert!(report.contains("interdomain links"));
@@ -305,7 +309,7 @@ mod tests {
     fn infer_records_read_and_pipeline_phases() {
         let dir = tmpdir("obs-phases");
         let rec = obs::Recorder::new(false);
-        write_bundle(&dir, GeneratorConfig::tiny(406), 3, 406, &rec).unwrap();
+        write_bundle(&dir, GeneratorConfig::tiny(406), 3, 406, 0, &rec).unwrap();
         infer_from_bundle(&dir, 1, &rec).unwrap();
         let report = rec.report();
         for phase in [

@@ -20,6 +20,8 @@ use topo_gen::GeneratorConfig;
 pub enum Scale {
     /// `GeneratorConfig::tiny` — seconds, for smoke runs.
     Tiny,
+    /// `GeneratorConfig::small` — the thread-sweep benchmark scale.
+    Small,
     /// `GeneratorConfig::default` — the standard experiment scale.
     Default,
     /// `GeneratorConfig::itdk_scale` — the large configuration.
@@ -30,6 +32,7 @@ impl Scale {
     fn config(self, seed: u64) -> GeneratorConfig {
         match self {
             Scale::Tiny => GeneratorConfig::tiny(seed),
+            Scale::Small => GeneratorConfig::small(seed),
             Scale::Default => GeneratorConfig {
                 seed,
                 ..GeneratorConfig::default()
@@ -50,7 +53,9 @@ pub struct Cli {
     pub scale: Scale,
     /// Number of VPs for Internet-wide experiments.
     pub vps: usize,
-    /// Refinement worker threads (0 = all available parallelism).
+    /// Worker threads for the probe campaign, phase-1 graph build, and
+    /// refinement (0 = all available parallelism). Output is bit-identical
+    /// for every value.
     pub threads: usize,
     /// Write the JSON [`obs::RunReport`] here after the run.
     pub report: Option<PathBuf>,
@@ -187,7 +192,7 @@ pub const USAGE: &str = "\
 bdrmapit — reproduce 'Pushing the Boundaries with bdrmapIT' (IMC 2018)
 
 USAGE:
-    bdrmapit <COMMAND> [--seed N] [--scale tiny|default|itdk] [--vps N] [--threads N]
+    bdrmapit <COMMAND> [--seed N] [--scale tiny|small|default|itdk] [--vps N] [--threads N]
                        [--report FILE] [--trace]
 
 COMMANDS:
@@ -221,10 +226,11 @@ COMMANDS:
     help        this text
 
 OPTIONS:
-    --seed N     topology seed            [default: 2018]
-    --scale S    tiny | default | itdk    [default: default]
-    --vps N      vantage points           [default: scale-dependent]
-    --threads N  refinement worker threads; 0 = all cores, 1 = serial.
+    --seed N     topology seed                    [default: 2018]
+    --scale S    tiny | small | default | itdk    [default: default]
+    --vps N      vantage points                   [default: scale-dependent]
+    --threads N  worker threads for the probe campaign, the phase-1 graph
+                 build, and refinement; 0 = all cores, 1 = serial.
                  Results are identical for every value.   [default: 0]
     --report F   write the JSON run report (phase wall times, counters,
                  histograms; schema bdrmapit.run-report/v1) to F
@@ -432,6 +438,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                     .ok_or_else(|| ParseError("--scale needs a value".into()))?;
                 scale = match v.as_str() {
                     "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
                     "default" => Scale::Default,
                     "itdk" => Scale::Itdk,
                     other => return Err(ParseError(format!("unknown scale {other:?}"))),
@@ -485,6 +492,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     }
     let default_vps = match scale {
         Scale::Tiny => 8,
+        Scale::Small => 12,
         Scale::Default => 20,
         Scale::Itdk => 60,
     };
@@ -530,8 +538,15 @@ fn run_with_obs(cli: &Cli, rec: &obs::Recorder) -> Result<String, CliError> {
     // File-driven commands handle their own I/O and reporting.
     match &cli.command {
         Command::Probe { out } => {
-            return dataset::write_bundle(out, cli.scale.config(cli.seed), cli.vps, cli.seed, rec)
-                .map_err(runtime);
+            return dataset::write_bundle(
+                out,
+                cli.scale.config(cli.seed),
+                cli.vps,
+                cli.seed,
+                cli.threads,
+                rec,
+            )
+            .map_err(runtime);
         }
         Command::Infer { input } => {
             return dataset::infer_from_bundle(input, cli.threads, rec).map_err(runtime);
@@ -549,7 +564,8 @@ fn run_with_obs(cli: &Cli, rec: &obs::Recorder) -> Result<String, CliError> {
         }
         _ => {}
     }
-    let s = Scenario::build_with_obs(cli.scale.config(cli.seed), rec.clone());
+    let mut s = Scenario::build_with_obs(cli.scale.config(cli.seed), rec.clone());
+    s.threads = cli.threads;
     let mut out = String::new();
     let _ = writeln!(
         out,

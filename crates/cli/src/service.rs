@@ -18,7 +18,8 @@ fn runtime(context: &str, e: impl std::fmt::Display) -> CliError {
 /// configured scale/seed and freezes the result (annotations, links,
 /// routers, prefix→origin table) into a `bdrmapit.snapshot/v1` file.
 pub fn snapshot_write(cli: &Cli, out: &Path, rec: &obs::Recorder) -> Result<String, CliError> {
-    let s = Scenario::build_with_obs(cli.scale.config(cli.seed), rec.clone());
+    let mut s = Scenario::build_with_obs(cli.scale.config(cli.seed), rec.clone());
+    s.threads = cli.threads;
     let bundle = s.campaign(cli.vps, true, cli.seed);
     let cfg = bdrmapit_core::Config {
         threads: cli.threads,

@@ -6,15 +6,35 @@
 //! and carry the origin-AS set `L(IRᵢ, j)` (§4.3) and the per-link
 //! destination ASes the third-party test needs (§6.1.1). Per-IR destination
 //! AS sets apply the reallocated-prefix filter of §4.4.
+//!
+//! # Parallel two-pass build (DESIGN.md §12)
+//!
+//! The build is sharded over `Config::threads` workers and bit-identical to
+//! a serial walk for every thread count:
+//!
+//! 1. **Intern** (pass 0): workers scan disjoint trace shards for responding
+//!    addresses; the union becomes an [`AddrInterner`], whose ids are
+//!    *canonical* (ascending address order) regardless of which shard saw an
+//!    address first. `IfIdx(i)` and interner id `i` are the same number.
+//! 2. **Extract** (pass 1): workers re-walk their trace shards emitting
+//!    compact [`LinkObs`] / destination observations keyed by interned ids.
+//! 3. **Reduce**: shard outputs are concatenated, sorted by their total
+//!    order, and folded. Every accumulator is order-insensitive — link label
+//!    by `min`, origin/destination/predecessor collections are sets — so the
+//!    fold reproduces the serial result no matter how observations were
+//!    distributed over shards.
+//! 4. **Annotate** (per-IR metadata): workers process disjoint IR ranges
+//!    with private [`RelQueryCache`]s (hit/miss tallies merged in worker
+//!    order), and results are written back in IR order.
 
 use crate::refine::shard::ShardPlan;
 use crate::Config;
 use alias::AliasSets;
-use as_rel::{AsRelationships, CustomerCones};
+use as_rel::{AsRelationships, CustomerCones, RelQueryCache};
 use bgp::{IpToAs, OriginInfo, OriginKind};
-use net_types::Asn;
+use net_types::{AddrInterner, Asn};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use traceroute::{ReplyType, Trace};
 
 /// Index of an inferred router.
@@ -86,18 +106,81 @@ pub struct IrGraph {
     /// Per interface: predecessor IR → that IR's interfaces seen immediately
     /// prior (drives interface-annotation voting, §6.2).
     pub preds: Vec<BTreeMap<IrId, BTreeSet<IfIdx>>>,
-    /// Address → interface index.
-    // detlint::allow(unordered-collection): per-hop lookup table on the hot
-    // build path, queried by key only and never iterated; interface order
-    // comes from the sorted `observed` set, not from this map
-    pub addr_index: HashMap<u32, IfIdx>,
+    /// Address ↔ interface-index mapping: interface `i`'s address is the
+    /// `i`-th smallest observed address, so the interner's dense ids *are*
+    /// the `IfIdx` values.
+    pub interner: AddrInterner,
     /// Annotation-dependency shards (link-connected components) with their
     /// wavefront levels, precomputed for the refinement engine.
     pub shards: ShardPlan,
 }
 
+/// One link-relevant observation from a single adjacent-hop pair, in
+/// interned-id space. The derived lexicographic order — `(ir, dst)` first —
+/// is the grouping key of the reduction; the remaining fields only
+/// feed order-insensitive accumulators (min-label, origin/dest/pred sets),
+/// so sorting a concatenation of shard outputs loses nothing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct LinkObs {
+    /// Source IR (`iface_ir` of the prior hop).
+    ir: u32,
+    /// Destination interface id.
+    dst: u32,
+    /// Table 3 label of this single observation.
+    label: LinkLabel,
+    /// Origin AS of the prior interface (`Asn::NONE` when unannounced).
+    origin: Asn,
+    /// Destination AS of the trace (`Asn::NONE` when unannounced).
+    dest: Asn,
+    /// The prior interface itself (for §6.2 predecessor voting).
+    pred: u32,
+}
+
+/// Resolves `Config::threads` for the graph build: `0` asks the OS, and the
+/// pool never exceeds the number of parallel jobs. Worker count can only
+/// change wall time, never output — see the module docs.
+fn graph_workers(threads: usize, jobs: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    t.clamp(1, jobs.max(1))
+}
+
+/// `worker`'s contiguous index range when `workers` cooperate on `n` jobs.
+fn chunk_range(n: usize, worker: usize, workers: usize) -> (usize, usize) {
+    (n * worker / workers, n * (worker + 1) / workers)
+}
+
+/// Runs `job(w)` for every worker index and returns the results in worker
+/// order. One worker runs on the calling thread; with `workers == 1` this
+/// is a plain function call, so the serial path has zero thread overhead.
+fn run_pool<T: Send>(workers: usize, job: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if workers == 1 {
+        return vec![job(0)];
+    }
+    let mut slots: Vec<Option<T>> = (0..workers).map(|_| None).collect();
+    // detlint::allow(unscoped-thread): scoped pool joined before return;
+    // every worker writes one fixed, worker-indexed slot, so scheduling
+    // cannot reorder the returned vector
+    crossbeam::thread::scope(|s| {
+        let job = &job;
+        let (first, rest) = slots.split_at_mut(1);
+        for (i, slot) in rest.iter_mut().enumerate() {
+            s.spawn(move |_| *slot = Some(job(i + 1)));
+        }
+        first[0] = Some(job(0));
+    })
+    .expect("graph build worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every worker fills its slot"))
+        .collect()
+}
+
 impl IrGraph {
-    /// Builds the graph from a corpus (§4).
+    /// Builds the graph from a corpus (§4), without telemetry.
     pub fn build(
         traces: &[Trace],
         aliases: &AliasSets,
@@ -106,44 +189,81 @@ impl IrGraph {
         rels: &AsRelationships,
         cones: &CustomerCones,
     ) -> IrGraph {
+        Self::build_with_obs(
+            traces,
+            aliases,
+            ip2as,
+            cfg,
+            rels,
+            cones,
+            &obs::Recorder::disabled(),
+        )
+    }
+
+    /// Builds the graph from a corpus (§4) on `cfg.threads` workers (see
+    /// the module docs for the sharding scheme), recording worker counts
+    /// and relationship-cache telemetry on `rec`.
+    pub fn build_with_obs(
+        traces: &[Trace],
+        aliases: &AliasSets,
+        ip2as: &IpToAs,
+        cfg: &Config,
+        rels: &AsRelationships,
+        cones: &CustomerCones,
+        rec: &obs::Recorder,
+    ) -> IrGraph {
+        let workers = graph_workers(cfg.threads, traces.len());
+        rec.add_exec(obs::names::EXEC_GRAPH_WORKERS, workers as u64);
         let mut g = IrGraph::default();
 
-        // ---- interfaces: every address observed as a responding hop ----
-        let mut observed: BTreeSet<u32> = BTreeSet::new();
-        for t in traces {
-            for (_, h) in t.responsive() {
-                observed.insert(h.addr);
-            }
-        }
-        for &addr in &observed {
-            let idx = IfIdx(g.iface_addrs.len() as u32);
-            g.iface_addrs.push(addr);
-            g.iface_origin.push(ip2as.lookup(addr));
-            g.iface_dests.push(BTreeSet::new());
-            g.preds.push(BTreeMap::new());
-            g.addr_index.insert(addr, idx);
-        }
-        g.iface_ir = vec![IrId(u32::MAX); g.iface_addrs.len()];
-
-        // ---- IRs from alias groups over observed addresses ----
-        let mut ir_members: Vec<Vec<IfIdx>> = Vec::new();
-        let mut grouped: BTreeSet<IfIdx> = BTreeSet::new();
-        for group in aliases.iter() {
-            let members: Vec<IfIdx> = group
+        // ---- pass 0: intern every address observed as a responding hop.
+        // Shard-local sort+dedup keeps the merge small; the interner re-sorts
+        // the union, so ids depend only on the observed address *set*.
+        let addr_shards = run_pool(workers, |w| {
+            let (lo, hi) = chunk_range(traces.len(), w, workers);
+            let mut addrs: Vec<u32> = traces[lo..hi]
                 .iter()
-                .filter_map(|a| g.addr_index.get(a).copied())
+                .flat_map(|t| t.responsive().map(|(_, h)| h.addr))
                 .collect();
-            if members.len() >= 2 {
+            addrs.sort_unstable();
+            addrs.dedup();
+            addrs
+        });
+        g.interner = AddrInterner::from_addrs(addr_shards.into_iter().flatten());
+        g.iface_addrs = g.interner.addrs().to_vec();
+        let n_ifaces = g.iface_addrs.len();
+
+        // Origin resolution per interface: independent longest-prefix
+        // lookups, sharded over the id space and rejoined in id order.
+        let iface_addrs = &g.iface_addrs;
+        let origin_shards = run_pool(workers, |w| {
+            let (lo, hi) = chunk_range(n_ifaces, w, workers);
+            iface_addrs[lo..hi]
+                .iter()
+                .map(|&a| ip2as.lookup(a))
+                .collect::<Vec<OriginInfo>>()
+        });
+        g.iface_origin = origin_shards.into_iter().flatten().collect();
+        g.iface_dests = vec![BTreeSet::new(); n_ifaces];
+        g.preds = vec![BTreeMap::new(); n_ifaces];
+        g.iface_ir = vec![IrId(u32::MAX); n_ifaces];
+
+        // ---- IRs from alias groups over observed addresses (serial: IR
+        // numbering is an ordering decision, and the work is linear).
+        let mut ir_members: Vec<Vec<IfIdx>> = Vec::new();
+        let mut grouped = vec![false; n_ifaces];
+        for group in aliases.interned_groups(&g.interner) {
+            if group.len() >= 2 {
+                let members: Vec<IfIdx> = group.into_iter().map(IfIdx).collect();
                 for &m in &members {
-                    grouped.insert(m);
+                    grouped[m.0 as usize] = true;
                 }
                 ir_members.push(members);
             }
         }
-        for idx in 0..g.iface_addrs.len() {
-            let ifidx = IfIdx(idx as u32);
-            if !grouped.contains(&ifidx) {
-                ir_members.push(vec![ifidx]);
+        for (idx, seen) in grouped.iter().enumerate() {
+            if !seen {
+                ir_members.push(vec![IfIdx(idx as u32)]);
             }
         }
         for members in ir_members {
@@ -160,91 +280,156 @@ impl IrGraph {
             });
         }
 
-        // ---- walk traces: links, origin sets, destination sets ----
-        // Accumulate links in a map first, then freeze into sorted vectors.
-        // Accumulator value: (label, origin-AS set, destination-AS set).
-        type LinkAcc = (LinkLabel, BTreeSet<Asn>, BTreeSet<Asn>);
-        let mut link_acc: BTreeMap<(IrId, IfIdx), LinkAcc> = BTreeMap::new();
-        for t in traces {
-            let hops: Vec<(u8, traceroute::Hop)> = t.responsive().collect();
-            if hops.is_empty() {
-                continue;
-            }
-            let dest_info = ip2as.lookup(t.dst);
-            let dest_as = dest_info.asn;
-
-            // Destination AS sets (§4.4): every responding interface records
-            // the trace's destination AS — except an Echo Reply last hop,
-            // whose "destination" is just the probed address itself.
-            let last = hops.len() - 1;
-            for (i, &(_, h)) in hops.iter().enumerate() {
-                if i == last && h.reply == ReplyType::EchoReply {
+        // ---- pass 1: extract link/destination observations per trace
+        // shard, entirely in interned-id space.
+        let graph = &g;
+        let obs_shards = run_pool(workers, |w| {
+            let (lo, hi) = chunk_range(traces.len(), w, workers);
+            let mut links: Vec<LinkObs> = Vec::new();
+            let mut dest_obs: Vec<(u32, Asn)> = Vec::new();
+            for t in &traces[lo..hi] {
+                let hops: Vec<(u8, traceroute::Hop)> = t.responsive().collect();
+                if hops.is_empty() {
                     continue;
                 }
+                let dest_as = ip2as.lookup(t.dst).asn;
+
+                // Destination AS sets (§4.4): every responding interface
+                // records the trace's destination AS — except an Echo Reply
+                // last hop, whose "destination" is just the probed address.
+                let last = hops.len() - 1;
                 if dest_as.is_some() {
-                    let ifidx = g.addr_index[&h.addr];
-                    g.iface_dests[ifidx.0 as usize].insert(dest_as);
+                    for (i, &(_, h)) in hops.iter().enumerate() {
+                        if i == last && h.reply == ReplyType::EchoReply {
+                            continue;
+                        }
+                        let ifidx = graph.interner.id(h.addr).expect("hop addr interned");
+                        dest_obs.push((ifidx, dest_as));
+                    }
+                }
+
+                // Links between adjacent responsive hops.
+                for pair in hops.windows(2) {
+                    let ((ttl_x, x), (ttl_y, y)) = (pair[0], pair[1]);
+                    if x.addr == y.addr {
+                        continue;
+                    }
+                    let xi = graph.interner.id(x.addr).expect("hop addr interned");
+                    let yi = graph.interner.id(y.addr).expect("hop addr interned");
+                    let ir_x = graph.iface_ir[xi as usize];
+                    if ir_x == graph.iface_ir[yi as usize] {
+                        continue; // both sides on one IR: not a link
+                    }
+                    let dist = ttl_y - ttl_x;
+                    let ox = graph.iface_origin[xi as usize];
+                    let oy = graph.iface_origin[yi as usize];
+                    links.push(LinkObs {
+                        ir: ir_x.0,
+                        dst: yi,
+                        label: link_label(dist, ox, oy, y.reply),
+                        origin: ox.asn,
+                        dest: dest_as,
+                        pred: xi,
+                    });
                 }
             }
+            // Local dedup: repeated observations only re-feed idempotent
+            // accumulators, so dropping them here shrinks the merge.
+            links.sort_unstable();
+            links.dedup();
+            dest_obs.sort_unstable();
+            dest_obs.dedup();
+            (links, dest_obs)
+        });
 
-            // Links between adjacent responsive hops.
-            for w in hops.windows(2) {
-                let ((ttl_x, x), (ttl_y, y)) = (w[0], w[1]);
-                if x.addr == y.addr {
-                    continue;
+        // ---- reduction: concatenate shard outputs, restore the total
+        // order, and fold — equal inputs in any shard distribution sort to
+        // the same sequence, so the result is shard-count-invariant.
+        let mut link_obs: Vec<LinkObs> = Vec::new();
+        let mut dest_obs: Vec<(u32, Asn)> = Vec::new();
+        for (l, d) in obs_shards {
+            link_obs.extend(l);
+            dest_obs.extend(d);
+        }
+        dest_obs.sort_unstable();
+        dest_obs.dedup();
+        for (ifidx, asn) in dest_obs {
+            g.iface_dests[ifidx as usize].insert(asn);
+        }
+        link_obs.sort_unstable();
+        link_obs.dedup();
+        let mut k = 0;
+        while k < link_obs.len() {
+            let (ir, dst) = (link_obs[k].ir, link_obs[k].dst);
+            let mut label = link_obs[k].label;
+            let mut origins: BTreeSet<Asn> = BTreeSet::new();
+            let mut dests: BTreeSet<Asn> = BTreeSet::new();
+            while k < link_obs.len() && (link_obs[k].ir, link_obs[k].dst) == (ir, dst) {
+                let o = link_obs[k];
+                label = label.min(o.label); // keep the highest confidence
+                if o.origin.is_some() {
+                    origins.insert(o.origin);
                 }
-                let xi = g.addr_index[&x.addr];
-                let yi = g.addr_index[&y.addr];
-                let ir_x = g.iface_ir[xi.0 as usize];
-                if ir_x == g.iface_ir[yi.0 as usize] {
-                    continue; // both sides on one IR: not a link
-                }
-                let dist = ttl_y - ttl_x;
-                let ox = g.iface_origin[xi.0 as usize];
-                let oy = g.iface_origin[yi.0 as usize];
-                let label = link_label(dist, ox, oy, y.reply);
-                let entry = link_acc
-                    .entry((ir_x, yi))
-                    .or_insert_with(|| (label, BTreeSet::new(), BTreeSet::new()));
-                entry.0 = entry.0.min(label); // keep the highest confidence
-                if ox.asn.is_some() {
-                    entry.1.insert(ox.asn);
-                }
-                if dest_as.is_some() {
-                    entry.2.insert(dest_as);
+                if o.dest.is_some() {
+                    dests.insert(o.dest);
                 }
                 // Predecessor record for §6.2 interface voting.
-                g.preds[yi.0 as usize].entry(ir_x).or_default().insert(xi);
+                g.preds[dst as usize]
+                    .entry(IrId(ir))
+                    .or_default()
+                    .insert(IfIdx(o.pred));
+                k += 1;
             }
-        }
-        for ((ir, dst), (label, origins, dests)) in link_acc {
-            g.irs[ir.0 as usize].links.push(Link {
-                dst,
+            // Runs arrive in ascending (ir, dst) order, so each IR's link
+            // vector comes out sorted by destination interface.
+            g.irs[ir as usize].links.push(Link {
+                dst: IfIdx(dst),
                 label,
                 origins,
                 dests,
             });
         }
 
-        // ---- per-IR metadata ----
-        for ir in &mut g.irs {
-            for &ifidx in &ir.ifaces {
-                let o = g.iface_origin[ifidx.0 as usize];
-                if o.asn.is_some() && o.kind != OriginKind::Ixp {
-                    ir.origins.insert(o.asn);
+        // ---- per-IR metadata: origin-AS unions and §4.4-filtered
+        // destination sets, sharded over the IR space. Each worker owns a
+        // private relationship cache; hit/miss tallies are
+        // execution-dependent (the split varies with the thread count), so
+        // they merge into the exec class in worker order.
+        let n_irs = g.irs.len();
+        let graph = &g;
+        let meta_shards = run_pool(workers, |w| {
+            let (lo, hi) = chunk_range(n_irs, w, workers);
+            let mut cache = RelQueryCache::new(rels, cones);
+            let mut out: Vec<(BTreeSet<Asn>, BTreeSet<Asn>)> = Vec::with_capacity(hi - lo);
+            for ir in &graph.irs[lo..hi] {
+                let mut origins: BTreeSet<Asn> = BTreeSet::new();
+                let mut dests: BTreeSet<Asn> = BTreeSet::new();
+                for &ifidx in &ir.ifaces {
+                    let o = graph.iface_origin[ifidx.0 as usize];
+                    if o.asn.is_some() && o.kind != OriginKind::Ixp {
+                        origins.insert(o.asn);
+                    }
+                    let raw = &graph.iface_dests[ifidx.0 as usize];
+                    dests.extend(filtered_iface_dests(raw, o.asn, cfg, &mut cache));
                 }
+                out.push((origins, dests));
             }
+            let mut sheet = obs::MetricSheet::new();
+            let stats = cache.stats();
+            sheet.add_exec(obs::names::EXEC_CACHE_HITS, stats.hits);
+            sheet.add_exec(obs::names::EXEC_CACHE_MISSES, stats.misses);
+            (out, sheet)
+        });
+        let mut merged = obs::MetricSheet::new();
+        let mut meta: Vec<(BTreeSet<Asn>, BTreeSet<Asn>)> = Vec::with_capacity(n_irs);
+        for (out, sheet) in meta_shards {
+            meta.extend(out);
+            merged.merge(&sheet);
         }
-        // Destination sets with §4.4 reallocation filtering, applied per
-        // interface before the union.
-        for ir_idx in 0..g.irs.len() {
-            let mut dests: BTreeSet<Asn> = BTreeSet::new();
-            for &ifidx in &g.irs[ir_idx].ifaces {
-                let raw = &g.iface_dests[ifidx.0 as usize];
-                let origin = g.iface_origin[ifidx.0 as usize].asn;
-                dests.extend(filtered_iface_dests(raw, origin, cfg, rels, cones));
-            }
-            g.irs[ir_idx].dests = dests;
+        rec.absorb(&merged);
+        for (ir, (origins, dests)) in g.irs.iter_mut().zip(meta) {
+            ir.origins = origins;
+            ir.dests = dests;
         }
 
         // ---- refinement shard plan (link-connected components, §6.3) ----
@@ -265,7 +450,7 @@ impl IrGraph {
 
     /// The interface for an address.
     pub fn iface_of_addr(&self, addr: u32) -> Option<IfIdx> {
-        self.addr_index.get(&addr).copied()
+        self.interner.id(addr).map(IfIdx)
     }
 
     /// The IR carrying an address.
@@ -310,23 +495,23 @@ fn link_label(dist: u8, ox: OriginInfo, oy: OriginInfo, reply: ReplyType) -> Lin
 /// §4.4's per-interface destination filter: a set of exactly two ASes, one
 /// matching the interface origin and the other a small-cone AS with no
 /// BGP-observable relationship to it, indicates a reallocated prefix; the
-/// larger-cone AS (the reallocating provider) is removed.
+/// larger-cone AS (the reallocating provider) is removed. Cone sizes and
+/// relationship probes go through the worker's memoized cache.
 fn filtered_iface_dests(
     raw: &BTreeSet<Asn>,
     origin: Asn,
     cfg: &Config,
-    rels: &AsRelationships,
-    cones: &CustomerCones,
+    cache: &mut RelQueryCache<'_>,
 ) -> BTreeSet<Asn> {
     if !cfg.enable_realloc || raw.len() != 2 || origin.is_none() || !raw.contains(&origin) {
         return raw.clone();
     }
     let other = *raw.iter().find(|&&a| a != origin).expect("two elements");
-    if cones.size(other) > cfg.realloc_cone_max || rels.has_relationship(origin, other) {
+    if cache.cone_size(other) > cfg.realloc_cone_max || cache.has_relationship(origin, other) {
         return raw.clone();
     }
     // Remove the AS with the larger cone (the provider).
-    let drop = if cones.size(origin) >= cones.size(other) {
+    let drop = if cache.cone_size(origin) >= cache.cone_size(other) {
         origin
     } else {
         other
@@ -521,14 +706,16 @@ mod tests {
         let mut rels = AsRelationships::new();
         rels.add_p2c(Asn(1), Asn(2)); // gives AS1 a cone of 2
         let cones = CustomerCones::compute(&rels);
+        let mut cache = RelQueryCache::new(&rels, &cones);
         let raw = BTreeSet::from([Asn(1), Asn(3)]);
-        let out = filtered_iface_dests(&raw, Asn(1), &cfg(), &rels, &cones);
+        let out = filtered_iface_dests(&raw, Asn(1), &cfg(), &mut cache);
         assert_eq!(out, BTreeSet::from([Asn(3)]));
         // With a known relationship, nothing is filtered.
         let mut rels2 = AsRelationships::new();
         rels2.add_p2c(Asn(1), Asn(3));
         let cones2 = CustomerCones::compute(&rels2);
-        let out2 = filtered_iface_dests(&raw, Asn(1), &cfg(), &rels2, &cones2);
+        let mut cache2 = RelQueryCache::new(&rels2, &cones2);
+        let out2 = filtered_iface_dests(&raw, Asn(1), &cfg(), &mut cache2);
         assert_eq!(out2, raw);
     }
 
@@ -562,6 +749,98 @@ mod tests {
         let g = build(&traces, &AliasSets::empty());
         assert_eq!(g.mid_path_irs().count(), 1);
         assert_eq!(g.last_hop_irs().count(), 1);
+    }
+
+    #[test]
+    fn build_is_thread_count_invariant() {
+        // A corpus exercising every accumulator: alias-grouped IRs, echo
+        // last hops, the same link observed with different labels, and
+        // destination sets fed by many traces.
+        let aliases = AliasSets::from_groups([BTreeSet::from([a("10.1.0.1"), a("10.1.0.2")])]);
+        let mut traces = Vec::new();
+        for i in 0..40u32 {
+            let leaf = a("10.2.0.1") + (i % 7);
+            traces.push(tr(
+                a("10.3.0.99") + i,
+                &[
+                    (1, a("10.1.0.1") + (i % 3), TE),
+                    (2, leaf, TE),
+                    (4, a("10.3.0.7"), TE),
+                ],
+            ));
+            traces.push(tr(leaf, &[(1, a("10.1.0.2"), TE), (2, leaf, ER)]));
+        }
+        let rels = AsRelationships::new();
+        let cones = CustomerCones::compute(&rels);
+        let build_at = |threads: usize| {
+            let cfg = Config {
+                threads,
+                ..Config::default()
+            };
+            IrGraph::build(&traces, &aliases, &oracle(), &cfg, &rels, &cones)
+        };
+        let base = build_at(1);
+        for threads in [2, 3, 8] {
+            let g = build_at(threads);
+            assert_eq!(g.interner, base.interner, "threads={threads}");
+            assert_eq!(g.iface_addrs, base.iface_addrs, "threads={threads}");
+            assert_eq!(g.iface_origin, base.iface_origin, "threads={threads}");
+            assert_eq!(g.iface_ir, base.iface_ir, "threads={threads}");
+            assert_eq!(g.iface_dests, base.iface_dests, "threads={threads}");
+            assert_eq!(g.preds, base.preds, "threads={threads}");
+            assert_eq!(
+                serde_json::to_string(&g.irs).unwrap(),
+                serde_json::to_string(&base.irs).unwrap(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_corpus_builds_at_any_thread_count() {
+        let rels = AsRelationships::new();
+        let cones = CustomerCones::compute(&rels);
+        let cfg = Config {
+            threads: 8,
+            ..Config::default()
+        };
+        let g = IrGraph::build(&[], &AliasSets::empty(), &oracle(), &cfg, &rels, &cones);
+        assert!(g.irs.is_empty());
+        assert!(g.iface_addrs.is_empty());
+    }
+
+    #[test]
+    fn build_with_obs_records_worker_count() {
+        let traces = [
+            tr(
+                a("10.3.0.99"),
+                &[(1, a("10.1.0.1"), TE), (2, a("10.2.0.1"), TE)],
+            ),
+            tr(
+                a("10.3.0.98"),
+                &[(1, a("10.1.0.2"), TE), (2, a("10.2.0.1"), TE)],
+            ),
+        ];
+        let rels = AsRelationships::new();
+        let cones = CustomerCones::compute(&rels);
+        let cfg = Config {
+            threads: 2,
+            ..Config::default()
+        };
+        let rec = obs::Recorder::new(false);
+        IrGraph::build_with_obs(
+            &traces,
+            &AliasSets::empty(),
+            &oracle(),
+            &cfg,
+            &rels,
+            &cones,
+            &rec,
+        );
+        let report = rec.report();
+        assert_eq!(report.exec[obs::names::EXEC_GRAPH_WORKERS], 2);
+        assert!(report.exec.contains_key(obs::names::EXEC_CACHE_HITS));
+        assert!(report.exec.contains_key(obs::names::EXEC_CACHE_MISSES));
     }
 
     #[test]

@@ -74,9 +74,10 @@ pub struct Config {
     /// Safety cap on refinement iterations (the paper iterates to a
     /// repeated state; this bounds pathological inputs).
     pub max_iterations: usize,
-    /// Worker threads for the phase-3 refinement engine. `0` (the default)
-    /// means all available parallelism; `1` forces the serial path. Results
-    /// are bit-identical for every value (see `refine::parallel`).
+    /// Worker threads for the phase-1 graph build and the phase-3
+    /// refinement engine. `0` (the default) means all available
+    /// parallelism; `1` forces the serial paths. Results are bit-identical
+    /// for every value (see [`graph`] and `refine::parallel`).
     pub threads: usize,
 }
 
@@ -139,7 +140,8 @@ impl Bdrmapit {
         let cones = CustomerCones::compute(rels);
         let graph = {
             let _span = self.obs.span(names::PHASE_GRAPH);
-            let graph = IrGraph::build(traces, aliases, ip2as, &self.cfg, rels, &cones);
+            let graph =
+                IrGraph::build_with_obs(traces, aliases, ip2as, &self.cfg, rels, &cones, &self.obs);
             self.obs.add(names::GRAPH_IRS, graph.irs.len() as u64);
             self.obs
                 .add(names::GRAPH_IFACES, graph.iface_addrs.len() as u64);
@@ -228,7 +230,7 @@ pub struct Annotated {
 impl Annotated {
     /// The inferred operator of the IR owning `addr`, if observed.
     pub fn owner_of_addr(&self, addr: u32) -> Option<Asn> {
-        let &ifidx = self.graph.addr_index.get(&addr)?;
+        let ifidx = self.graph.iface_of_addr(addr)?;
         let ir = self.graph.iface_ir[ifidx.0 as usize];
         let asn = self.state.router[ir.0 as usize];
         asn.is_some().then_some(asn)

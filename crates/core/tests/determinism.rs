@@ -152,6 +152,48 @@ proptest! {
         );
     }
 
+    /// Phase 1 in isolation: the interned two-pass build (DESIGN.md §12) is
+    /// structurally identical to serial for every thread count — every
+    /// field of the graph, not just the annotations derived from it. Alias
+    /// groups are synthesized from the corpus so grouped-IR numbering is
+    /// exercised, not just singletons.
+    #[test]
+    fn graph_build_is_thread_count_invariant(traces in corpus_strategy()) {
+        let r = rels();
+        let cones = CustomerCones::compute(&r);
+        let mut observed: Vec<u32> = traces
+            .iter()
+            .flat_map(|t| t.responsive().map(|(_, h)| h.addr))
+            .collect();
+        observed.sort_unstable();
+        observed.dedup();
+        let aliases = AliasSets::from_groups(
+            observed
+                .chunks(2)
+                .map(|pair| pair.iter().copied().collect::<std::collections::BTreeSet<u32>>()),
+        );
+        let build = |threads: usize| {
+            let cfg = Config { threads, ..Config::default() };
+            IrGraph::build(&traces, &aliases, &oracle(), &cfg, &r, &cones)
+        };
+        let serial = build(1);
+        for threads in [2usize, 8] {
+            let parallel = build(threads);
+            prop_assert_eq!(&serial.interner, &parallel.interner, "threads={}", threads);
+            prop_assert_eq!(&serial.iface_addrs, &parallel.iface_addrs, "threads={}", threads);
+            prop_assert_eq!(&serial.iface_origin, &parallel.iface_origin, "threads={}", threads);
+            prop_assert_eq!(&serial.iface_ir, &parallel.iface_ir, "threads={}", threads);
+            prop_assert_eq!(&serial.iface_dests, &parallel.iface_dests, "threads={}", threads);
+            prop_assert_eq!(&serial.preds, &parallel.preds, "threads={}", threads);
+            prop_assert_eq!(
+                serde_json::to_string(&serial.irs).unwrap(),
+                serde_json::to_string(&parallel.irs).unwrap(),
+                "IRs diverged at threads={}",
+                threads
+            );
+        }
+    }
+
     /// The shard plan the equivalence rests on: every IR lands in exactly
     /// one shard, every interface follows its IR, and the wavefront levels
     /// of each shard are a partition of its mid-path set.

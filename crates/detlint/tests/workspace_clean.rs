@@ -53,16 +53,18 @@ fn allow_inventory_does_not_silently_grow() {
         *by_rule.entry(f.rule.as_str()).or_insert(0) += 1;
     }
     let expected: std::collections::BTreeMap<&str, usize> = [
-        // as-rel memo tables (2), core graph hot-path table, refine
-        // duplicate filter, snapshot interface→router hash index (read-only
-        // after construction; query answers never iterate it).
-        ("unordered-collection", 5),
+        // as-rel memo tables (2), refine duplicate filter, snapshot
+        // interface→router hash index (read-only after construction; query
+        // answers never iterate it). The graph build's former per-hop
+        // HashMap is gone: interned ids made it a sorted-vec binary search.
+        ("unordered-collection", 4),
         // eval metric folds in tests.
         ("float-accum", 4),
-        // traceroute campaign input-generation parallelism, serve's
+        // traceroute campaign input-generation parallelism, the phase-1
+        // graph build's worker pool (core/graph.rs), serve's
         // request-serving worker pool + background accept-loop host,
         // serve's concurrent-clients e2e test, bench-serve load clients.
-        ("unscoped-thread", 5),
+        ("unscoped-thread", 6),
         // obs::MonotonicClock — the workspace's only sanctioned wall-clock
         // read (see the sole-clock assertion below).
         ("nondet-source", 1),

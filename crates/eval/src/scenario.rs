@@ -65,6 +65,10 @@ pub struct Scenario {
     /// [`Scenario::build_with_obs`]; either way inference results are
     /// bit-identical.
     pub obs: obs::Recorder,
+    /// Worker threads for the sharded probe campaign (0 = ask the OS).
+    /// Campaign output is bit-identical for every value; this only sizes
+    /// the pool.
+    pub threads: usize,
 }
 
 impl Scenario {
@@ -90,6 +94,7 @@ impl Scenario {
             rels,
             validation,
             obs: rec,
+            threads: 0,
         }
     }
 
@@ -110,7 +115,7 @@ impl Scenario {
     /// Runs a campaign from explicit VP routers.
     pub fn campaign_from(&self, vps: &[RouterId], seed: u64) -> CorpusBundle {
         let probe_cfg = ProbeConfig::default();
-        let traces = probe_campaign_with_obs(&self.net, vps, &probe_cfg, &self.obs);
+        let traces = probe_campaign_with_obs(&self.net, vps, &probe_cfg, self.threads, &self.obs);
         let observed = observed_addresses(&traces);
         let aliases = resolve_midar_with_obs(&self.net, &observed, 0.9, seed, &self.obs);
         CorpusBundle {

@@ -1,0 +1,126 @@
+//! Dense interning of IPv4 addresses.
+//!
+//! The pipeline's phase-1 graph build touches every responsive traceroute
+//! hop several times (dest-set recording, link extraction, predecessor
+//! tracking). Keying those accesses by the 32-bit address through a hash map
+//! means hashing and probing per touch; interning every observed address
+//! into a dense `u32` id once turns all downstream bookkeeping into plain
+//! array indexing and sorted-vector merges.
+//!
+//! An [`AddrInterner`] is immutable after construction and assigns ids in
+//! ascending address order, so the id space is *canonical*: any two builds
+//! over the same observed address set — regardless of thread count or the
+//! order shards delivered their observations — produce the identical
+//! mapping. That property is what lets the parallel graph build merge
+//! shard-local observation vectors with a deterministic sort instead of a
+//! coordination step.
+
+/// An immutable IPv4 → dense-id interner.
+///
+/// Ids are `0..len()`, assigned in ascending address order. Lookups are
+/// branch-light binary searches over one sorted `Vec<u32>` — no hashing, no
+/// per-process seed, bit-identical behaviour on every platform.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AddrInterner {
+    addrs: Vec<u32>,
+}
+
+impl AddrInterner {
+    /// Builds the interner from any iterator of addresses; duplicates are
+    /// collapsed. The id of an address is its rank in the deduplicated
+    /// ascending order.
+    pub fn from_addrs<I: IntoIterator<Item = u32>>(addrs: I) -> AddrInterner {
+        let mut addrs: Vec<u32> = addrs.into_iter().collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        AddrInterner { addrs }
+    }
+
+    /// Builds from a vector that is already sorted and deduplicated
+    /// (debug-checked), skipping the sort.
+    pub fn from_sorted(addrs: Vec<u32>) -> AddrInterner {
+        debug_assert!(addrs.windows(2).all(|w| w[0] < w[1]), "not sorted+dedup");
+        AddrInterner { addrs }
+    }
+
+    /// The dense id of `addr`, if it was interned.
+    #[inline]
+    pub fn id(&self, addr: u32) -> Option<u32> {
+        self.addrs.binary_search(&addr).ok().map(|i| i as u32)
+    }
+
+    /// The address carrying dense id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id >= len()`.
+    #[inline]
+    pub fn addr(&self, id: u32) -> u32 {
+        self.addrs[id as usize]
+    }
+
+    /// Number of interned addresses (the id space is `0..len()`).
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when nothing was interned.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// All interned addresses in id order (index == id).
+    pub fn addrs(&self) -> &[u32] {
+        &self.addrs
+    }
+
+    /// Iterates `(id, addr)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.addrs.iter().enumerate().map(|(i, &a)| (i as u32, a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ascending_ranks() {
+        let it = AddrInterner::from_addrs([30u32, 10, 20, 10]);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.id(10), Some(0));
+        assert_eq!(it.id(20), Some(1));
+        assert_eq!(it.id(30), Some(2));
+        assert_eq!(it.id(25), None);
+        assert_eq!(it.addr(2), 30);
+        assert_eq!(it.addrs(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn insertion_order_never_matters() {
+        let a = AddrInterner::from_addrs([5u32, 1, 9, 3]);
+        let b = AddrInterner::from_addrs([9u32, 3, 5, 1, 1, 9]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_sorted_matches_from_addrs() {
+        let a = AddrInterner::from_addrs([2u32, 4, 8]);
+        let b = AddrInterner::from_sorted(vec![2, 4, 8]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty() {
+        let it = AddrInterner::from_addrs(std::iter::empty());
+        assert!(it.is_empty());
+        assert_eq!(it.id(0), None);
+        assert_eq!(it.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let it = AddrInterner::from_addrs([7u32, 3]);
+        let pairs: Vec<(u32, u32)> = it.iter().collect();
+        assert_eq!(pairs, vec![(0, 3), (1, 7)]);
+    }
+}

@@ -22,11 +22,13 @@
 
 mod asn;
 mod counter;
+mod intern;
 mod prefix;
 mod trie;
 
 pub use asn::Asn;
 pub use counter::Counter;
+pub use intern::AddrInterner;
 pub use prefix::{Prefix, PrefixParseError};
 pub use trie::PrefixTrie;
 

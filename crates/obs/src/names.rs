@@ -99,6 +99,10 @@ pub const EXEC_CACHE_HITS: &str = "asrel.cache_hits";
 pub const EXEC_CACHE_MISSES: &str = "asrel.cache_misses";
 /// Worker slots the refinement engine actually used.
 pub const EXEC_REFINE_WORKERS: &str = "refine.workers";
+/// Worker slots the probe-campaign sharder actually used.
+pub const EXEC_CAMPAIGN_WORKERS: &str = "campaign.workers";
+/// Worker slots the phase-1 graph build actually used.
+pub const EXEC_GRAPH_WORKERS: &str = "graph.workers";
 /// Connections accepted by the query server. Traffic-driven, so every
 /// serve counter is execution-dependent by construction.
 pub const EXEC_SERVE_CONNECTIONS: &str = "serve.connections";

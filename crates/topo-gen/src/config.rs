@@ -143,6 +143,28 @@ impl GeneratorConfig {
         }
     }
 
+    /// A benchmark scale between `tiny` and the default: big enough that the
+    /// front-end phases dominate wall time (the thread-sweep bench's
+    /// workload), small enough to finish quickly in CI.
+    pub fn small(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            clique_size: 4,
+            transit_count: 10,
+            access_count: 20,
+            re_count: 5,
+            stub_count: 80,
+            ixp_count: 3,
+            collector_peers: 15,
+            routers_clique: 12,
+            routers_transit: 8,
+            routers_access: 6,
+            routers_re: 4,
+            routers_stub: 2,
+            ..Self::default()
+        }
+    }
+
     /// An ITDK-scale Internet for the paper experiments (release mode).
     pub fn itdk_scale(seed: u64) -> Self {
         GeneratorConfig {
@@ -172,7 +194,8 @@ mod tests {
     fn counts() {
         let c = GeneratorConfig::tiny(1);
         assert_eq!(c.as_count(), 3 + 5 + 8 + 2 + 30);
-        assert!(GeneratorConfig::default().as_count() > 200);
+        assert!(GeneratorConfig::small(1).as_count() > c.as_count());
+        assert!(GeneratorConfig::default().as_count() > GeneratorConfig::small(1).as_count());
         assert!(GeneratorConfig::itdk_scale(0).as_count() > 1000);
     }
 

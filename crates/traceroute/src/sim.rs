@@ -307,49 +307,121 @@ pub fn reactive_campaign(
     out
 }
 
-/// Runs the full campaign: every VP probes every destination. Parallel over
-/// VPs with deterministic per-probe seeding, so output order and content are
-/// reproducible.
-pub fn probe_campaign(net: &Internet, vps: &[RouterId], cfg: &ProbeConfig) -> Vec<Trace> {
-    let dests = destinations(net, cfg);
-    let mut per_vp: Vec<Vec<Trace>> = Vec::new();
-    // detlint::allow(unscoped-thread): input-generation parallelism, not
-    // refinement; each VP's traces are derived from per-probe seeds and the
-    // join below collects them in vps order, so scheduling never reaches
-    // the output
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = vps
-            .iter()
-            .map(|&vp| {
-                let dests = &dests;
-                s.spawn(move |_| {
-                    dests
-                        .iter()
-                        .map(|&d| trace_one(net, vp, d, cfg))
-                        .filter(|t| t.responsive_count() > 0)
-                        .collect::<Vec<Trace>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            per_vp.push(h.join().expect("probe thread panicked"));
-        }
-    })
-    .expect("scope");
-    per_vp.into_iter().flatten().collect()
+/// Worker count for a sharded campaign: `threads == 0` asks the OS
+/// (mirroring the refinement engine's `Config::threads` convention), and the
+/// pool never exceeds the number of probe pairs. Thread count can only
+/// change wall time, never output — every probe is a pure function of
+/// `(seed, vp, dst)` and shards concatenate in canonical order.
+pub fn campaign_workers(threads: usize, probe_pairs: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    t.clamp(1, probe_pairs.max(1))
 }
 
-/// [`probe_campaign`] under an observability span: records the
-/// `traceroute.campaign` phase and corpus size counters. The corpus is
+/// Probes the contiguous slice `[lo, hi)` of the flattened `(vp, dst)`
+/// matrix (vp-major), appending responsive traces to `out` in matrix order.
+fn fill_shard(
+    net: &Internet,
+    vps: &[RouterId],
+    dests: &[u32],
+    cfg: &ProbeConfig,
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<Trace>,
+) {
+    for k in lo..hi {
+        let vp = vps[k / dests.len()];
+        let dst = dests[k % dests.len()];
+        let t = trace_one(net, vp, dst, cfg);
+        if t.responsive_count() > 0 {
+            out.push(t);
+        }
+    }
+}
+
+/// Runs the full campaign: every VP probes every destination. Parallel over
+/// VPs with deterministic per-probe seeding, so output order and content are
+/// reproducible. Worker count is taken from the OS (`threads == 0`).
+pub fn probe_campaign(net: &Internet, vps: &[RouterId], cfg: &ProbeConfig) -> Vec<Trace> {
+    probe_campaign_sharded(net, vps, cfg, 0)
+}
+
+/// [`probe_campaign`] with an explicit thread count (0 = ask the OS).
+///
+/// The `(vp, dst)` probe matrix is flattened vp-major and split into
+/// `workers` contiguous index ranges; each worker fills a private trace
+/// buffer for its range, and the buffers are concatenated in range order.
+/// Because every trace depends only on `(campaign seed, vp, dst)` and the
+/// ranges partition the matrix in its canonical order, the merged corpus is
+/// byte-identical to a serial walk for every thread count.
+pub fn probe_campaign_sharded(
+    net: &Internet,
+    vps: &[RouterId],
+    cfg: &ProbeConfig,
+    threads: usize,
+) -> Vec<Trace> {
+    campaign_impl(net, vps, cfg, threads).0
+}
+
+/// Shard runner shared by the plain and instrumented entry points. Returns
+/// the corpus plus the worker-pool size actually used.
+fn campaign_impl(
+    net: &Internet,
+    vps: &[RouterId],
+    cfg: &ProbeConfig,
+    threads: usize,
+) -> (Vec<Trace>, usize) {
+    let dests = destinations(net, cfg);
+    let jobs = vps.len() * dests.len();
+    if jobs == 0 {
+        return (Vec::new(), 1);
+    }
+    let workers = campaign_workers(threads, jobs);
+    let mut shards: Vec<Vec<Trace>> = (0..workers).map(|_| Vec::new()).collect();
+    if workers == 1 {
+        fill_shard(net, vps, &dests, cfg, 0, jobs, &mut shards[0]);
+    } else {
+        // detlint::allow(unscoped-thread): input-generation parallelism;
+        // each worker owns one contiguous slice of the canonical (vp, dst)
+        // matrix and a private output buffer, and the buffers concatenate
+        // in slice order below, so scheduling never reaches the output
+        crossbeam::thread::scope(|s| {
+            for (w, out) in shards.iter_mut().enumerate() {
+                let dests = &dests;
+                s.spawn(move |_| {
+                    fill_shard(
+                        net,
+                        vps,
+                        dests,
+                        cfg,
+                        jobs * w / workers,
+                        jobs * (w + 1) / workers,
+                        out,
+                    );
+                });
+            }
+        })
+        .expect("probe worker panicked");
+    }
+    (shards.into_iter().flatten().collect(), workers)
+}
+
+/// [`probe_campaign_sharded`] under an observability span: records the
+/// `traceroute.campaign` phase, corpus size counters, and the
+/// execution-dependent `campaign.workers` pool size. The corpus is
 /// bit-identical to the plain variant's.
 pub fn probe_campaign_with_obs(
     net: &Internet,
     vps: &[RouterId],
     cfg: &ProbeConfig,
+    threads: usize,
     rec: &obs::Recorder,
 ) -> Vec<Trace> {
     let _span = rec.span(obs::names::PHASE_TRACEROUTE);
-    let traces = probe_campaign(net, vps, cfg);
+    let (traces, workers) = campaign_impl(net, vps, cfg, threads);
     rec.add(obs::names::TRACEROUTE_TRACES, traces.len() as u64);
     rec.add(
         obs::names::TRACEROUTE_HOPS,
@@ -359,6 +431,7 @@ pub fn probe_campaign_with_obs(
         obs::names::TRACEROUTE_RESPONSIVE_HOPS,
         traces.iter().map(|t| t.responsive_count() as u64).sum(),
     );
+    rec.add_exec(obs::names::EXEC_CAMPAIGN_WORKERS, workers as u64);
     traces
 }
 
@@ -480,6 +553,47 @@ mod tests {
             .filter(|t| t.responsive_count() > 0)
             .collect();
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn sharded_campaign_matches_for_every_thread_count() {
+        let (net, cfg) = fixture();
+        let vps = select_vps(&net, 3, &[], 3);
+        let serial = probe_campaign_sharded(&net, &vps, &cfg, 1);
+        // Sweep thread counts past the job count: shards must concatenate to
+        // the same corpus whether they split mid-VP, per-VP, or per-probe.
+        for threads in [2, 3, 5, 8, 64] {
+            let sharded = probe_campaign_sharded(&net, &vps, &cfg, threads);
+            assert_eq!(serial, sharded, "threads={threads}");
+        }
+        assert_eq!(
+            serial,
+            probe_campaign(&net, &vps, &cfg),
+            "auto thread count"
+        );
+    }
+
+    #[test]
+    fn campaign_workers_clamps() {
+        assert_eq!(campaign_workers(4, 100), 4);
+        assert_eq!(campaign_workers(4, 2), 2);
+        assert_eq!(campaign_workers(1, 0), 1);
+        assert!(campaign_workers(0, 100) >= 1, "auto resolves to >= 1");
+    }
+
+    #[test]
+    fn with_obs_matches_and_records_workers() {
+        let (net, cfg) = fixture();
+        let vps = select_vps(&net, 2, &[], 9);
+        let rec = obs::Recorder::new(false);
+        let traces = probe_campaign_with_obs(&net, &vps, &cfg, 2, &rec);
+        assert_eq!(traces, probe_campaign_sharded(&net, &vps, &cfg, 2));
+        let report = rec.report();
+        assert_eq!(report.exec[obs::names::EXEC_CAMPAIGN_WORKERS], 2);
+        assert_eq!(
+            report.counters[obs::names::TRACEROUTE_TRACES],
+            traces.len() as u64
+        );
     }
 
     #[test]
