@@ -24,8 +24,11 @@ pub enum Scale {
     Small,
     /// `GeneratorConfig::default` — the standard experiment scale.
     Default,
-    /// `GeneratorConfig::itdk_scale` — the large configuration.
+    /// `GeneratorConfig::itdk_scale` — the ITDK-shaped experiment scale.
     Itdk,
+    /// `GeneratorConfig::large` — ~1e5 routers; the pool speedup-contract
+    /// scale (release mode only).
+    Large,
 }
 
 impl Scale {
@@ -38,6 +41,7 @@ impl Scale {
                 ..GeneratorConfig::default()
             },
             Scale::Itdk => GeneratorConfig::itdk_scale(seed),
+            Scale::Large => GeneratorConfig::large(seed),
         }
     }
 }
@@ -192,7 +196,7 @@ pub const USAGE: &str = "\
 bdrmapit — reproduce 'Pushing the Boundaries with bdrmapIT' (IMC 2018)
 
 USAGE:
-    bdrmapit <COMMAND> [--seed N] [--scale tiny|small|default|itdk] [--vps N] [--threads N]
+    bdrmapit <COMMAND> [--seed N] [--scale tiny|small|default|itdk|large] [--vps N] [--threads N]
                        [--report FILE] [--trace]
 
 COMMANDS:
@@ -227,7 +231,9 @@ COMMANDS:
 
 OPTIONS:
     --seed N     topology seed                    [default: 2018]
-    --scale S    tiny | small | default | itdk    [default: default]
+    --scale S    tiny | small | default | itdk | large   [default: default]
+                 (large is the ~1e5-router speedup-contract scale; use a
+                 release build)
     --vps N      vantage points                   [default: scale-dependent]
     --threads N  worker threads for the probe campaign, the phase-1 graph
                  build, and refinement; 0 = all cores, 1 = serial.
@@ -441,6 +447,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                     "small" => Scale::Small,
                     "default" => Scale::Default,
                     "itdk" => Scale::Itdk,
+                    "large" => Scale::Large,
                     other => return Err(ParseError(format!("unknown scale {other:?}"))),
                 };
             }
@@ -495,6 +502,9 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         Scale::Small => 12,
         Scale::Default => 20,
         Scale::Itdk => 60,
+        // Paper-scale vantage-point pool (the IMC'18 dataset has 109 VPs);
+        // `large` generates 380 transit/access/R&E ASes to draw them from.
+        Scale::Large => 109,
     };
     Ok(Cli {
         command,

@@ -7,10 +7,10 @@
 //! destination ASes the third-party test needs (§6.1.1). Per-IR destination
 //! AS sets apply the reallocated-prefix filter of §4.4.
 //!
-//! # Parallel two-pass build (DESIGN.md §12)
+//! # Parallel two-pass build (DESIGN.md §12, pool scheduling §13)
 //!
-//! The build is sharded over `Config::threads` workers and bit-identical to
-//! a serial walk for every thread count:
+//! The build is chunked into tasks on the shared [`pool::WorkerPool`] and
+//! is bit-identical to a serial walk for every thread count:
 //!
 //! 1. **Intern** (pass 0): workers scan disjoint trace shards for responding
 //!    addresses; the union becomes an [`AddrInterner`], whose ids are
@@ -136,47 +136,14 @@ struct LinkObs {
     pred: u32,
 }
 
-/// Resolves `Config::threads` for the graph build: `0` asks the OS, and the
-/// pool never exceeds the number of parallel jobs. Worker count can only
-/// change wall time, never output — see the module docs.
-fn graph_workers(threads: usize, jobs: usize) -> usize {
-    let t = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    } else {
-        threads
-    };
-    t.clamp(1, jobs.max(1))
+/// Chunks `n` items into `batch`-sized pool tasks; returns the task count.
+fn task_count(n: usize, batch: usize) -> usize {
+    n.div_ceil(batch)
 }
 
-/// `worker`'s contiguous index range when `workers` cooperate on `n` jobs.
-fn chunk_range(n: usize, worker: usize, workers: usize) -> (usize, usize) {
-    (n * worker / workers, n * (worker + 1) / workers)
-}
-
-/// Runs `job(w)` for every worker index and returns the results in worker
-/// order. One worker runs on the calling thread; with `workers == 1` this
-/// is a plain function call, so the serial path has zero thread overhead.
-fn run_pool<T: Send>(workers: usize, job: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    if workers == 1 {
-        return vec![job(0)];
-    }
-    let mut slots: Vec<Option<T>> = (0..workers).map(|_| None).collect();
-    // detlint::allow(unscoped-thread): scoped pool joined before return;
-    // every worker writes one fixed, worker-indexed slot, so scheduling
-    // cannot reorder the returned vector
-    crossbeam::thread::scope(|s| {
-        let job = &job;
-        let (first, rest) = slots.split_at_mut(1);
-        for (i, slot) in rest.iter_mut().enumerate() {
-            s.spawn(move |_| *slot = Some(job(i + 1)));
-        }
-        first[0] = Some(job(0));
-    })
-    .expect("graph build worker panicked");
-    slots
-        .into_iter()
-        .map(|s| s.expect("every worker fills its slot"))
-        .collect()
+/// Task `t`'s contiguous item range under `batch`-sized chunking of `n`.
+fn task_range(n: usize, t: usize, batch: usize) -> (usize, usize) {
+    (t * batch, ((t + 1) * batch).min(n))
 }
 
 impl IrGraph {
@@ -200,9 +167,9 @@ impl IrGraph {
         )
     }
 
-    /// Builds the graph from a corpus (§4) on `cfg.threads` workers (see
-    /// the module docs for the sharding scheme), recording worker counts
-    /// and relationship-cache telemetry on `rec`.
+    /// Builds the graph from a corpus (§4) on an ad-hoc worker pool sized
+    /// from `cfg.threads`, recording worker counts and relationship-cache
+    /// telemetry on `rec`.
     pub fn build_with_obs(
         traces: &[Trace],
         aliases: &AliasSets,
@@ -212,23 +179,50 @@ impl IrGraph {
         cones: &CustomerCones,
         rec: &obs::Recorder,
     ) -> IrGraph {
-        let workers = graph_workers(cfg.threads, traces.len());
-        rec.add_exec(obs::names::EXEC_GRAPH_WORKERS, workers as u64);
+        let wp = pool::WorkerPool::with_recorder(cfg.threads, rec.clone());
+        Self::build_in_pool(traces, aliases, ip2as, cfg, rels, cones, &wp, rec)
+    }
+
+    /// [`IrGraph::build_with_obs`] on a caller-provided worker pool — the
+    /// entry the pipeline uses so all phases share one pool. Each parallel
+    /// pass is chunked into [`pool::WorkerPool::batch_size`]-sized tasks
+    /// (see the module docs for the sharding scheme); task outputs rejoin
+    /// in task-index order, so stealing never reaches the output.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_in_pool(
+        traces: &[Trace],
+        aliases: &AliasSets,
+        ip2as: &IpToAs,
+        cfg: &Config,
+        rels: &AsRelationships,
+        cones: &CustomerCones,
+        wp: &pool::WorkerPool,
+        rec: &obs::Recorder,
+    ) -> IrGraph {
+        rec.add_exec(
+            obs::names::EXEC_GRAPH_WORKERS,
+            wp.worker_cap(traces.len()) as u64,
+        );
         let mut g = IrGraph::default();
 
         // ---- pass 0: intern every address observed as a responding hop.
         // Shard-local sort+dedup keeps the merge small; the interner re-sorts
         // the union, so ids depend only on the observed address *set*.
-        let addr_shards = run_pool(workers, |w| {
-            let (lo, hi) = chunk_range(traces.len(), w, workers);
-            let mut addrs: Vec<u32> = traces[lo..hi]
-                .iter()
-                .flat_map(|t| t.responsive().map(|(_, h)| h.addr))
-                .collect();
-            addrs.sort_unstable();
-            addrs.dedup();
-            addrs
-        });
+        let trace_batch = wp.batch_size(traces.len());
+        let addr_shards = wp.run(
+            obs::names::EXEC_POOL_BUSY_GRAPH,
+            task_count(traces.len(), trace_batch),
+            |t| {
+                let (lo, hi) = task_range(traces.len(), t, trace_batch);
+                let mut addrs: Vec<u32> = traces[lo..hi]
+                    .iter()
+                    .flat_map(|t| t.responsive().map(|(_, h)| h.addr))
+                    .collect();
+                addrs.sort_unstable();
+                addrs.dedup();
+                addrs
+            },
+        );
         g.interner = AddrInterner::from_addrs(addr_shards.into_iter().flatten());
         g.iface_addrs = g.interner.addrs().to_vec();
         let n_ifaces = g.iface_addrs.len();
@@ -236,13 +230,18 @@ impl IrGraph {
         // Origin resolution per interface: independent longest-prefix
         // lookups, sharded over the id space and rejoined in id order.
         let iface_addrs = &g.iface_addrs;
-        let origin_shards = run_pool(workers, |w| {
-            let (lo, hi) = chunk_range(n_ifaces, w, workers);
-            iface_addrs[lo..hi]
-                .iter()
-                .map(|&a| ip2as.lookup(a))
-                .collect::<Vec<OriginInfo>>()
-        });
+        let iface_batch = wp.batch_size(n_ifaces);
+        let origin_shards = wp.run(
+            obs::names::EXEC_POOL_BUSY_GRAPH,
+            task_count(n_ifaces, iface_batch),
+            |t| {
+                let (lo, hi) = task_range(n_ifaces, t, iface_batch);
+                iface_addrs[lo..hi]
+                    .iter()
+                    .map(|&a| ip2as.lookup(a))
+                    .collect::<Vec<OriginInfo>>()
+            },
+        );
         g.iface_origin = origin_shards.into_iter().flatten().collect();
         g.iface_dests = vec![BTreeSet::new(); n_ifaces];
         g.preds = vec![BTreeMap::new(); n_ifaces];
@@ -283,64 +282,68 @@ impl IrGraph {
         // ---- pass 1: extract link/destination observations per trace
         // shard, entirely in interned-id space.
         let graph = &g;
-        let obs_shards = run_pool(workers, |w| {
-            let (lo, hi) = chunk_range(traces.len(), w, workers);
-            let mut links: Vec<LinkObs> = Vec::new();
-            let mut dest_obs: Vec<(u32, Asn)> = Vec::new();
-            for t in &traces[lo..hi] {
-                let hops: Vec<(u8, traceroute::Hop)> = t.responsive().collect();
-                if hops.is_empty() {
-                    continue;
-                }
-                let dest_as = ip2as.lookup(t.dst).asn;
-
-                // Destination AS sets (§4.4): every responding interface
-                // records the trace's destination AS — except an Echo Reply
-                // last hop, whose "destination" is just the probed address.
-                let last = hops.len() - 1;
-                if dest_as.is_some() {
-                    for (i, &(_, h)) in hops.iter().enumerate() {
-                        if i == last && h.reply == ReplyType::EchoReply {
-                            continue;
-                        }
-                        let ifidx = graph.interner.id(h.addr).expect("hop addr interned");
-                        dest_obs.push((ifidx, dest_as));
-                    }
-                }
-
-                // Links between adjacent responsive hops.
-                for pair in hops.windows(2) {
-                    let ((ttl_x, x), (ttl_y, y)) = (pair[0], pair[1]);
-                    if x.addr == y.addr {
+        let obs_shards = wp.run(
+            obs::names::EXEC_POOL_BUSY_GRAPH,
+            task_count(traces.len(), trace_batch),
+            |t| {
+                let (lo, hi) = task_range(traces.len(), t, trace_batch);
+                let mut links: Vec<LinkObs> = Vec::new();
+                let mut dest_obs: Vec<(u32, Asn)> = Vec::new();
+                for t in &traces[lo..hi] {
+                    let hops: Vec<(u8, traceroute::Hop)> = t.responsive().collect();
+                    if hops.is_empty() {
                         continue;
                     }
-                    let xi = graph.interner.id(x.addr).expect("hop addr interned");
-                    let yi = graph.interner.id(y.addr).expect("hop addr interned");
-                    let ir_x = graph.iface_ir[xi as usize];
-                    if ir_x == graph.iface_ir[yi as usize] {
-                        continue; // both sides on one IR: not a link
+                    let dest_as = ip2as.lookup(t.dst).asn;
+
+                    // Destination AS sets (§4.4): every responding interface
+                    // records the trace's destination AS — except an Echo Reply
+                    // last hop, whose "destination" is just the probed address.
+                    let last = hops.len() - 1;
+                    if dest_as.is_some() {
+                        for (i, &(_, h)) in hops.iter().enumerate() {
+                            if i == last && h.reply == ReplyType::EchoReply {
+                                continue;
+                            }
+                            let ifidx = graph.interner.id(h.addr).expect("hop addr interned");
+                            dest_obs.push((ifidx, dest_as));
+                        }
                     }
-                    let dist = ttl_y - ttl_x;
-                    let ox = graph.iface_origin[xi as usize];
-                    let oy = graph.iface_origin[yi as usize];
-                    links.push(LinkObs {
-                        ir: ir_x.0,
-                        dst: yi,
-                        label: link_label(dist, ox, oy, y.reply),
-                        origin: ox.asn,
-                        dest: dest_as,
-                        pred: xi,
-                    });
+
+                    // Links between adjacent responsive hops.
+                    for pair in hops.windows(2) {
+                        let ((ttl_x, x), (ttl_y, y)) = (pair[0], pair[1]);
+                        if x.addr == y.addr {
+                            continue;
+                        }
+                        let xi = graph.interner.id(x.addr).expect("hop addr interned");
+                        let yi = graph.interner.id(y.addr).expect("hop addr interned");
+                        let ir_x = graph.iface_ir[xi as usize];
+                        if ir_x == graph.iface_ir[yi as usize] {
+                            continue; // both sides on one IR: not a link
+                        }
+                        let dist = ttl_y - ttl_x;
+                        let ox = graph.iface_origin[xi as usize];
+                        let oy = graph.iface_origin[yi as usize];
+                        links.push(LinkObs {
+                            ir: ir_x.0,
+                            dst: yi,
+                            label: link_label(dist, ox, oy, y.reply),
+                            origin: ox.asn,
+                            dest: dest_as,
+                            pred: xi,
+                        });
+                    }
                 }
-            }
-            // Local dedup: repeated observations only re-feed idempotent
-            // accumulators, so dropping them here shrinks the merge.
-            links.sort_unstable();
-            links.dedup();
-            dest_obs.sort_unstable();
-            dest_obs.dedup();
-            (links, dest_obs)
-        });
+                // Local dedup: repeated observations only re-feed idempotent
+                // accumulators, so dropping them here shrinks the merge.
+                links.sort_unstable();
+                links.dedup();
+                dest_obs.sort_unstable();
+                dest_obs.dedup();
+                (links, dest_obs)
+            },
+        );
 
         // ---- reduction: concatenate shard outputs, restore the total
         // order, and fold — equal inputs in any shard distribution sort to
@@ -391,35 +394,40 @@ impl IrGraph {
         }
 
         // ---- per-IR metadata: origin-AS unions and §4.4-filtered
-        // destination sets, sharded over the IR space. Each worker owns a
+        // destination sets, chunked over the IR space. Each task owns a
         // private relationship cache; hit/miss tallies are
         // execution-dependent (the split varies with the thread count), so
-        // they merge into the exec class in worker order.
+        // they merge into the exec class in task order.
         let n_irs = g.irs.len();
         let graph = &g;
-        let meta_shards = run_pool(workers, |w| {
-            let (lo, hi) = chunk_range(n_irs, w, workers);
-            let mut cache = RelQueryCache::new(rels, cones);
-            let mut out: Vec<(BTreeSet<Asn>, BTreeSet<Asn>)> = Vec::with_capacity(hi - lo);
-            for ir in &graph.irs[lo..hi] {
-                let mut origins: BTreeSet<Asn> = BTreeSet::new();
-                let mut dests: BTreeSet<Asn> = BTreeSet::new();
-                for &ifidx in &ir.ifaces {
-                    let o = graph.iface_origin[ifidx.0 as usize];
-                    if o.asn.is_some() && o.kind != OriginKind::Ixp {
-                        origins.insert(o.asn);
+        let ir_batch = wp.batch_size(n_irs);
+        let meta_shards = wp.run(
+            obs::names::EXEC_POOL_BUSY_GRAPH,
+            task_count(n_irs, ir_batch),
+            |t| {
+                let (lo, hi) = task_range(n_irs, t, ir_batch);
+                let mut cache = RelQueryCache::new(rels, cones);
+                let mut out: Vec<(BTreeSet<Asn>, BTreeSet<Asn>)> = Vec::with_capacity(hi - lo);
+                for ir in &graph.irs[lo..hi] {
+                    let mut origins: BTreeSet<Asn> = BTreeSet::new();
+                    let mut dests: BTreeSet<Asn> = BTreeSet::new();
+                    for &ifidx in &ir.ifaces {
+                        let o = graph.iface_origin[ifidx.0 as usize];
+                        if o.asn.is_some() && o.kind != OriginKind::Ixp {
+                            origins.insert(o.asn);
+                        }
+                        let raw = &graph.iface_dests[ifidx.0 as usize];
+                        dests.extend(filtered_iface_dests(raw, o.asn, cfg, &mut cache));
                     }
-                    let raw = &graph.iface_dests[ifidx.0 as usize];
-                    dests.extend(filtered_iface_dests(raw, o.asn, cfg, &mut cache));
+                    out.push((origins, dests));
                 }
-                out.push((origins, dests));
-            }
-            let mut sheet = obs::MetricSheet::new();
-            let stats = cache.stats();
-            sheet.add_exec(obs::names::EXEC_CACHE_HITS, stats.hits);
-            sheet.add_exec(obs::names::EXEC_CACHE_MISSES, stats.misses);
-            (out, sheet)
-        });
+                let mut sheet = obs::MetricSheet::new();
+                let stats = cache.stats();
+                sheet.add_exec(obs::names::EXEC_CACHE_HITS, stats.hits);
+                sheet.add_exec(obs::names::EXEC_CACHE_MISSES, stats.misses);
+                (out, sheet)
+            },
+        );
         let mut merged = obs::MetricSheet::new();
         let mut meta: Vec<(BTreeSet<Asn>, BTreeSet<Asn>)> = Vec::with_capacity(n_irs);
         for (out, sheet) in meta_shards {

@@ -102,6 +102,7 @@ impl Default for Config {
 pub struct Bdrmapit {
     cfg: Config,
     obs: obs::Recorder,
+    pool: Option<std::sync::Arc<pool::WorkerPool>>,
 }
 
 impl Bdrmapit {
@@ -110,6 +111,7 @@ impl Bdrmapit {
         Bdrmapit {
             cfg,
             obs: obs::Recorder::disabled(),
+            pool: None,
         }
     }
 
@@ -119,6 +121,16 @@ impl Bdrmapit {
     #[must_use]
     pub fn with_obs(mut self, rec: obs::Recorder) -> Self {
         self.obs = rec;
+        self
+    }
+
+    /// Attaches a shared worker pool. Without one, [`run`](Bdrmapit::run)
+    /// creates its own from [`Config::threads`]; with one, the caller's pool
+    /// budget wins and its scheduling statistics accumulate across every
+    /// phase dispatched on it (e.g. a probe campaign run beforehand).
+    #[must_use]
+    pub fn with_pool(mut self, pool: std::sync::Arc<pool::WorkerPool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -137,11 +149,18 @@ impl Bdrmapit {
     ) -> Annotated {
         use obs::names;
 
+        let wp = self.pool.clone().unwrap_or_else(|| {
+            std::sync::Arc::new(pool::WorkerPool::with_recorder(
+                self.cfg.threads,
+                self.obs.clone(),
+            ))
+        });
         let cones = CustomerCones::compute(rels);
         let graph = {
             let _span = self.obs.span(names::PHASE_GRAPH);
-            let graph =
-                IrGraph::build_with_obs(traces, aliases, ip2as, &self.cfg, rels, &cones, &self.obs);
+            let graph = IrGraph::build_in_pool(
+                traces, aliases, ip2as, &self.cfg, rels, &cones, &wp, &self.obs,
+            );
             self.obs.add(names::GRAPH_IRS, graph.irs.len() as u64);
             self.obs
                 .add(names::GRAPH_IFACES, graph.iface_addrs.len() as u64);
@@ -162,7 +181,7 @@ impl Bdrmapit {
         }
         {
             let _span = self.obs.span(names::PHASE_REFINE);
-            refine::refine_with_obs(&graph, rels, &cones, &self.cfg, &mut state, &self.obs);
+            refine::refine_in_pool(&graph, rels, &cones, &self.cfg, &mut state, &wp, &self.obs);
         }
         Annotated { graph, state }
     }

@@ -87,11 +87,28 @@ pub fn refine_with_obs(
     state: &mut AnnotationState,
     rec: &obs::Recorder,
 ) {
+    let wp = pool::WorkerPool::with_recorder(cfg.threads, rec.clone());
+    refine_in_pool(graph, rels, cones, cfg, state, &wp, rec);
+}
+
+/// [`refine_with_obs`] on a caller-provided worker pool — the entry the
+/// pipeline uses so all phases share one pool. The worker budget comes from
+/// the pool ([`Config::threads`] only feeds the pool's construction), then
+/// shrinks to what the shard plan can actually occupy.
+pub fn refine_in_pool(
+    graph: &IrGraph,
+    rels: &AsRelationships,
+    cones: &CustomerCones,
+    cfg: &Config,
+    state: &mut AnnotationState,
+    wp: &pool::WorkerPool,
+    rec: &obs::Recorder,
+) {
     use obs::names;
 
     let plan = &graph.shards;
     let cells = SweepCells::new(state);
-    let threads = effective_threads(cfg, plan);
+    let threads = effective_threads(wp.workers(), plan);
     let (iterations, traces, mut sheet) = if threads <= 1 {
         let mut ctx = SweepCtx::new(graph, cfg, rels, cones);
         let mut iterations = 0;
@@ -107,7 +124,7 @@ pub fn refine_with_obs(
         ctx.flush_cache_stats();
         (iterations, traces, ctx.sheet)
     } else {
-        parallel::refine_parallel(graph, plan, &cells, rels, cones, cfg, threads)
+        parallel::refine_parallel(graph, plan, &cells, rels, cones, cfg, threads, wp)
     };
     cells.write_back(state);
     state.iterations = iterations;
@@ -133,15 +150,10 @@ pub fn refine_with_obs(
     rec.absorb(&sheet);
 }
 
-/// Resolves [`Config::threads`] against the machine and the shard plan,
-/// falling back to the serial path when the plan has nothing to offer a
-/// thread pool (e.g. a single narrow shard).
-fn effective_threads(cfg: &Config, plan: &ShardPlan) -> usize {
-    let requested = if cfg.threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    } else {
-        cfg.threads
-    };
+/// Resolves the pool's worker budget against the shard plan, falling back
+/// to the serial path when the plan has nothing to offer a thread pool
+/// (e.g. a single narrow shard).
+fn effective_threads(requested: usize, plan: &ShardPlan) -> usize {
     if requested <= 1 {
         return 1;
     }

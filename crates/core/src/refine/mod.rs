@@ -18,5 +18,5 @@ pub mod router;
 pub mod shard;
 pub mod votes;
 
-pub use engine::{refine, refine_with_obs, CONVERGENCE_HASH_SEED};
+pub use engine::{refine, refine_in_pool, refine_with_obs, CONVERGENCE_HASH_SEED};
 pub use shard::{Shard, ShardPlan};

@@ -275,12 +275,15 @@ pub(crate) fn converge_shard(
     ShardRun { iterations, trace }
 }
 
-/// Runs the whole plan on `threads` workers (crossbeam scoped threads; the
-/// calling thread doubles as worker 0). Returns the maximum per-shard
-/// iteration count plus the convergence hash trace of every shard, indexed
-/// by the shard's position in `plan.shards` — the same order the serial
-/// engine visits them, so the two paths yield comparable trace vectors —
-/// plus the workers' telemetry sheets merged in worker-index order.
+/// Runs the whole plan on `threads` workers broadcast from the shared
+/// worker pool (one crew slot per worker — lockstep participants must
+/// never share a thread, so these slots are not stealable). Returns the
+/// maximum per-shard iteration count plus the convergence hash trace of
+/// every shard, indexed by the shard's position in `plan.shards` — the same
+/// order the serial engine visits them, so the two paths yield comparable
+/// trace vectors — plus the workers' telemetry sheets merged in
+/// worker-index order.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn refine_parallel(
     graph: &IrGraph,
     plan: &ShardPlan,
@@ -289,6 +292,7 @@ pub(crate) fn refine_parallel(
     cones: &CustomerCones,
     cfg: &Config,
     threads: usize,
+    wp: &pool::WorkerPool,
 ) -> (usize, Vec<Vec<u64>>, obs::MetricSheet) {
     // A shard tagged with its index in `plan.shards`, which survives the
     // big/small partition so traces land in plan order.
@@ -347,14 +351,7 @@ pub(crate) fn refine_parallel(
         *sheets[w].lock().unwrap() = ctx.sheet;
         max_iterations.fetch_max(local, Ordering::SeqCst);
     };
-    crossbeam::thread::scope(|s| {
-        let worker = &worker;
-        for w in 1..threads {
-            s.spawn(move |_| worker(w));
-        }
-        worker(0);
-    })
-    .expect("refinement worker panicked");
+    wp.broadcast(obs::names::EXEC_POOL_BUSY_REFINE, threads, worker);
     let traces = traces
         .into_iter()
         .map(|m| m.into_inner().unwrap())
@@ -431,21 +428,18 @@ mod tests {
         let threads = 4;
         let barrier = SpinBarrier::new(threads);
         let counter = AtomicUsize::new(0);
-        crossbeam::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| {
-                    for round in 1..=50usize {
-                        counter.fetch_add(1, Ordering::SeqCst);
-                        barrier.wait();
-                        // Between barriers every thread observes the full
-                        // round's increments.
-                        assert_eq!(counter.load(Ordering::SeqCst), round * threads);
-                        barrier.wait();
-                    }
-                });
+        // The same broadcast primitive the engine uses: one concurrent,
+        // unstealable crew slot per barrier participant.
+        pool::WorkerPool::new(threads).broadcast("pool.busy_us.test", threads, |_| {
+            for round in 1..=50usize {
+                counter.fetch_add(1, Ordering::SeqCst);
+                barrier.wait();
+                // Between barriers every thread observes the full round's
+                // increments.
+                assert_eq!(counter.load(Ordering::SeqCst), round * threads);
+                barrier.wait();
             }
-        })
-        .unwrap();
+        });
         assert_eq!(counter.load(Ordering::SeqCst), 50 * threads);
     }
 

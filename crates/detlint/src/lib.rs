@@ -18,7 +18,7 @@
 //! | `unordered-collection` | binding a `HashMap`/`HashSet` (or an alias of one) |
 //! | `unordered-iter` | iterating a hash collection (`for`, `.iter()`, `.keys()`, `.values()`, `.drain()`, …) |
 //! | `nondet-source` | `DefaultHasher`, `RandomState`, `thread_rng`, `rand::random`, `SystemTime::now`, `Instant::now` |
-//! | `unscoped-thread` | `thread::spawn` / `rayon` / `crossbeam` outside `refine/parallel.rs` |
+//! | `unscoped-thread` | `thread::spawn` / `rayon` / `crossbeam` outside `pool/src/lib.rs` |
 //! | `float-accum` | `+=`/`-=` float accumulation under `refine/` and `crates/eval/` |
 //! | `missing-forbid-unsafe` | crate root without `#![forbid(unsafe_code)]` |
 //! | `invalid-allow` | malformed `detlint::allow` annotation |

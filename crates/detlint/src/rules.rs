@@ -61,8 +61,9 @@ const NONDET_IDENTS: &[&str] = &["DefaultHasher", "RandomState", "thread_rng"];
 /// `Type::now()` clock reads flagged as nondeterministic sources.
 const CLOCK_TYPES: &[&str] = &["SystemTime", "Instant"];
 
-/// The only file allowed to create threads (the refinement engine's pool).
-const THREAD_EXEMPT_SUFFIX: &str = "refine/parallel.rs";
+/// The only file allowed to create threads (the shared work-stealing pool
+/// every pipeline phase dispatches on).
+const THREAD_EXEMPT_SUFFIX: &str = "pool/src/lib.rs";
 
 /// One diagnostic.
 #[derive(Clone, Debug, Serialize)]
@@ -438,8 +439,8 @@ pub fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
                     RULE_UNSCOPED_THREAD,
                     t.line,
                     t.col,
-                    "`thread::spawn` outside refine/parallel.rs: parallelism must go \
-                     through the deterministic scoped pool"
+                    "`thread::spawn` outside pool/src/lib.rs: parallelism must go \
+                     through the shared deterministic worker pool"
                         .to_string(),
                 );
             }
@@ -449,8 +450,8 @@ pub fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
                     t.line,
                     t.col,
                     format!(
-                        "`{}` used outside refine/parallel.rs: parallelism must go \
-                         through the deterministic scoped pool",
+                        "`{}` used outside pool/src/lib.rs: parallelism must go \
+                         through the shared deterministic worker pool",
                         t.text
                     ),
                 );

@@ -103,10 +103,13 @@ fn thread_use_outside_parallel_fires() {
 }
 
 #[test]
-fn thread_use_inside_parallel_is_exempt() {
+fn thread_use_inside_pool_is_exempt() {
+    // The pool crate root is the one thread-exempt file: none of the
+    // unscoped-thread findings fire. (The fixture is a crate root without
+    // `#![forbid(unsafe_code)]`, so that unrelated rule still does.)
     assert_eq!(
-        spans("crates/core/src/refine/parallel.rs", "thread_positive.rs"),
-        vec![]
+        spans("crates/pool/src/lib.rs", "thread_positive.rs"),
+        vec![s("missing-forbid-unsafe", 1, 1, false)]
     );
 }
 

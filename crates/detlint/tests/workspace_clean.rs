@@ -60,11 +60,12 @@ fn allow_inventory_does_not_silently_grow() {
         ("unordered-collection", 4),
         // eval metric folds in tests.
         ("float-accum", 4),
-        // traceroute campaign input-generation parallelism, the phase-1
-        // graph build's worker pool (core/graph.rs), serve's
-        // request-serving worker pool + background accept-loop host,
-        // serve's concurrent-clients e2e test, bench-serve load clients.
-        ("unscoped-thread", 6),
+        // serve's request-serving worker pool + background accept-loop
+        // host, serve's concurrent-clients e2e test, bench-serve load
+        // clients. The campaign and graph-build allowances are retired:
+        // both phases now dispatch on the shared pool crate, the single
+        // thread-exempt file.
+        ("unscoped-thread", 4),
         // obs::MonotonicClock — the workspace's only sanctioned wall-clock
         // read (see the sole-clock assertion below).
         ("nondet-source", 1),

@@ -23,14 +23,14 @@ use bdrmapit_core::{Annotated, Bdrmapit, Config};
 
 /// Runs bdrmapIT on a corpus under a scenario, reporting telemetry through
 /// the scenario's recorder (disabled unless the scenario was built with
-/// [`Scenario::build_with_obs`]).
+/// [`Scenario::build_with_obs`]) and dispatching the parallel phases on the
+/// scenario's worker pool — the scenario's shared pool if one is installed,
+/// so campaign and inference accumulate scheduling stats together.
 pub fn run_bdrmapit(s: &Scenario, bundle: &CorpusBundle, cfg: Config) -> Annotated {
-    Bdrmapit::new(cfg).with_obs(s.obs.clone()).run(
-        &bundle.traces,
-        &bundle.aliases,
-        &s.ip2as,
-        &s.rels,
-    )
+    Bdrmapit::new(cfg)
+        .with_obs(s.obs.clone())
+        .with_pool(s.worker_pool())
+        .run(&bundle.traces, &bundle.aliases, &s.ip2as, &s.rels)
 }
 
 /// Renders an aligned text table.

@@ -6,8 +6,9 @@ use as_rel::AsRelationships;
 use bgp::{IpToAs, Rib};
 use net_types::Asn;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use topo_gen::{GeneratorConfig, Internet, RouterId, Tier};
-use traceroute::sim::{probe_campaign_with_obs, select_vps, ProbeConfig};
+use traceroute::sim::{probe_campaign_in_pool, select_vps, ProbeConfig};
 use traceroute::Trace;
 
 /// The four networks validated in the paper (§7): "a Tier-1 network, a
@@ -69,6 +70,13 @@ pub struct Scenario {
     /// Campaign output is bit-identical for every value; this only sizes
     /// the pool.
     pub threads: usize,
+    /// A shared worker pool for every parallel phase run under this
+    /// scenario. `None` (the default) means each campaign builds an ad-hoc
+    /// pool from [`Scenario::threads`]; installing one lets campaign, graph
+    /// build, and refinement accumulate scheduling statistics on one object
+    /// (and is what the pipeline benchmarks do). The pool's budget takes
+    /// precedence over `threads`.
+    pub pool: Option<Arc<pool::WorkerPool>>,
 }
 
 impl Scenario {
@@ -95,7 +103,20 @@ impl Scenario {
             validation,
             obs: rec,
             threads: 0,
+            pool: None,
         }
+    }
+
+    /// The worker pool campaigns and inference runs dispatch on: the
+    /// installed shared pool, or an ad-hoc one sized from
+    /// [`Scenario::threads`] reporting into the scenario's recorder.
+    pub fn worker_pool(&self) -> Arc<pool::WorkerPool> {
+        self.pool.clone().unwrap_or_else(|| {
+            Arc::new(pool::WorkerPool::with_recorder(
+                self.threads,
+                self.obs.clone(),
+            ))
+        })
     }
 
     /// Runs an ITDK-style campaign from `n_vps` vantage points. When
@@ -115,7 +136,8 @@ impl Scenario {
     /// Runs a campaign from explicit VP routers.
     pub fn campaign_from(&self, vps: &[RouterId], seed: u64) -> CorpusBundle {
         let probe_cfg = ProbeConfig::default();
-        let traces = probe_campaign_with_obs(&self.net, vps, &probe_cfg, self.threads, &self.obs);
+        let wp = self.worker_pool();
+        let traces = probe_campaign_in_pool(&self.net, vps, &probe_cfg, &wp, &self.obs);
         let observed = observed_addresses(&traces);
         let aliases = resolve_midar_with_obs(&self.net, &observed, 0.9, seed, &self.obs);
         CorpusBundle {

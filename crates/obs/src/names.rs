@@ -103,6 +103,16 @@ pub const EXEC_REFINE_WORKERS: &str = "refine.workers";
 pub const EXEC_CAMPAIGN_WORKERS: &str = "campaign.workers";
 /// Worker slots the phase-1 graph build actually used.
 pub const EXEC_GRAPH_WORKERS: &str = "graph.workers";
+/// Tasks dispatched by the shared worker pool (all phases).
+pub const EXEC_POOL_TASKS: &str = "pool.tasks";
+/// Tasks a pool worker took from a sibling's dealt interval.
+pub const EXEC_POOL_STEALS: &str = "pool.steals";
+/// Aggregate pool worker busy time in the probe campaign, microseconds.
+pub const EXEC_POOL_BUSY_CAMPAIGN: &str = "pool.busy_us.campaign";
+/// Aggregate pool worker busy time in the phase-1 graph build, microseconds.
+pub const EXEC_POOL_BUSY_GRAPH: &str = "pool.busy_us.graph";
+/// Aggregate pool worker busy time in phase-3 refinement, microseconds.
+pub const EXEC_POOL_BUSY_REFINE: &str = "pool.busy_us.refine";
 /// Connections accepted by the query server. Traffic-driven, so every
 /// serve counter is execution-dependent by construction.
 pub const EXEC_SERVE_CONNECTIONS: &str = "serve.connections";

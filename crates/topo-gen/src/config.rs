@@ -180,9 +180,43 @@ impl GeneratorConfig {
         }
     }
 
+    /// The pool-crossover scale: ~10⁵ routers and enough transit/access/R&E
+    /// ASes to host well over 100 vantage points, producing corpora with
+    /// millions of hops. This is the scale the bench-pipeline speedup
+    /// contract is measured at (release mode only; a debug-mode run is
+    /// prohibitively slow).
+    pub fn large(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            clique_size: 12,
+            transit_count: 90,
+            access_count: 240,
+            re_count: 50,
+            stub_count: 2400,
+            ixp_count: 12,
+            collector_peers: 90,
+            routers_clique: 64,
+            routers_transit: 48,
+            routers_access: 36,
+            routers_re: 24,
+            routers_stub: 36,
+            ..Self::default()
+        }
+    }
+
     /// Total number of ASes this config generates.
     pub fn as_count(&self) -> usize {
         self.clique_size + self.transit_count + self.access_count + self.re_count + self.stub_count
+    }
+
+    /// Total number of routers this config generates (exact: every AS gets
+    /// its tier's router count).
+    pub fn router_count(&self) -> usize {
+        self.clique_size * self.routers_clique
+            + self.transit_count * self.routers_transit
+            + self.access_count * self.routers_access
+            + self.re_count * self.routers_re
+            + self.stub_count * self.routers_stub
     }
 }
 
@@ -197,6 +231,16 @@ mod tests {
         assert!(GeneratorConfig::small(1).as_count() > c.as_count());
         assert!(GeneratorConfig::default().as_count() > GeneratorConfig::small(1).as_count());
         assert!(GeneratorConfig::itdk_scale(0).as_count() > 1000);
+        let large = GeneratorConfig::large(0);
+        assert!(large.as_count() > GeneratorConfig::itdk_scale(0).as_count());
+        assert!(
+            large.router_count() >= 100_000,
+            "large must reach ~1e5 routers, got {}",
+            large.router_count()
+        );
+        // The VP pool draws from transit + access + R&E tiers; the speedup
+        // contract sweeps >=100 vantage points at this scale.
+        assert!(large.transit_count + large.access_count + large.re_count >= 100);
     }
 
     #[test]

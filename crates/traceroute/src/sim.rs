@@ -349,63 +349,49 @@ pub fn probe_campaign(net: &Internet, vps: &[RouterId], cfg: &ProbeConfig) -> Ve
     probe_campaign_sharded(net, vps, cfg, 0)
 }
 
-/// [`probe_campaign`] with an explicit thread count (0 = ask the OS).
+/// [`probe_campaign`] with an explicit thread count (0 = ask the OS),
+/// dispatched on an ad-hoc [`pool::WorkerPool`].
 ///
 /// The `(vp, dst)` probe matrix is flattened vp-major and split into
-/// `workers` contiguous index ranges; each worker fills a private trace
-/// buffer for its range, and the buffers are concatenated in range order.
+/// pool-sized task chunks; each task fills a private trace buffer for its
+/// contiguous index range, and the buffers are concatenated in range order.
 /// Because every trace depends only on `(campaign seed, vp, dst)` and the
 /// ranges partition the matrix in its canonical order, the merged corpus is
-/// byte-identical to a serial walk for every thread count.
+/// byte-identical to a serial walk for every thread count — stealing can
+/// move a chunk between workers, never reorder the chunks.
 pub fn probe_campaign_sharded(
     net: &Internet,
     vps: &[RouterId],
     cfg: &ProbeConfig,
     threads: usize,
 ) -> Vec<Trace> {
-    campaign_impl(net, vps, cfg, threads).0
+    let dests = destinations(net, cfg);
+    campaign_in_pool(net, vps, &dests, cfg, &pool::WorkerPool::new(threads)).0
 }
 
-/// Shard runner shared by the plain and instrumented entry points. Returns
-/// the corpus plus the worker-pool size actually used.
-fn campaign_impl(
+/// Shard runner shared by the entry points: probes the full `(vp, dst)`
+/// matrix on the given pool. Returns the corpus plus the worker count the
+/// batch could use (the execution-dependent `campaign.workers` value).
+fn campaign_in_pool(
     net: &Internet,
     vps: &[RouterId],
+    dests: &[u32],
     cfg: &ProbeConfig,
-    threads: usize,
+    wp: &pool::WorkerPool,
 ) -> (Vec<Trace>, usize) {
-    let dests = destinations(net, cfg);
     let jobs = vps.len() * dests.len();
     if jobs == 0 {
         return (Vec::new(), 1);
     }
-    let workers = campaign_workers(threads, jobs);
-    let mut shards: Vec<Vec<Trace>> = (0..workers).map(|_| Vec::new()).collect();
-    if workers == 1 {
-        fill_shard(net, vps, &dests, cfg, 0, jobs, &mut shards[0]);
-    } else {
-        // detlint::allow(unscoped-thread): input-generation parallelism;
-        // each worker owns one contiguous slice of the canonical (vp, dst)
-        // matrix and a private output buffer, and the buffers concatenate
-        // in slice order below, so scheduling never reaches the output
-        crossbeam::thread::scope(|s| {
-            for (w, out) in shards.iter_mut().enumerate() {
-                let dests = &dests;
-                s.spawn(move |_| {
-                    fill_shard(
-                        net,
-                        vps,
-                        dests,
-                        cfg,
-                        jobs * w / workers,
-                        jobs * (w + 1) / workers,
-                        out,
-                    );
-                });
-            }
-        })
-        .expect("probe worker panicked");
-    }
+    let workers = wp.worker_cap(jobs);
+    let batch = wp.batch_size(jobs);
+    let tasks = jobs.div_ceil(batch);
+    let shards = wp.run(obs::names::EXEC_POOL_BUSY_CAMPAIGN, tasks, |t| {
+        let (lo, hi) = (t * batch, ((t + 1) * batch).min(jobs));
+        let mut out = Vec::new();
+        fill_shard(net, vps, dests, cfg, lo, hi, &mut out);
+        out
+    });
     (shards.into_iter().flatten().collect(), workers)
 }
 
@@ -420,8 +406,26 @@ pub fn probe_campaign_with_obs(
     threads: usize,
     rec: &obs::Recorder,
 ) -> Vec<Trace> {
+    let wp = pool::WorkerPool::with_recorder(threads, rec.clone());
+    probe_campaign_in_pool(net, vps, cfg, &wp, rec)
+}
+
+/// [`probe_campaign_with_obs`] on a caller-provided worker pool — the entry
+/// the pipeline uses so campaign, graph build, and refinement share one
+/// pool. Destination enumeration runs *before* the phase span opens: it is
+/// input preparation, identical at every thread count, and timing it inside
+/// the span inflated the campaign's serial baseline (bench-pipeline v3
+/// measures probing only).
+pub fn probe_campaign_in_pool(
+    net: &Internet,
+    vps: &[RouterId],
+    cfg: &ProbeConfig,
+    wp: &pool::WorkerPool,
+    rec: &obs::Recorder,
+) -> Vec<Trace> {
+    let dests = destinations(net, cfg);
     let _span = rec.span(obs::names::PHASE_TRACEROUTE);
-    let (traces, workers) = campaign_impl(net, vps, cfg, threads);
+    let (traces, workers) = campaign_in_pool(net, vps, &dests, cfg, wp);
     rec.add(obs::names::TRACEROUTE_TRACES, traces.len() as u64);
     rec.add(
         obs::names::TRACEROUTE_HOPS,
