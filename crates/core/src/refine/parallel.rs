@@ -142,12 +142,14 @@ impl<'a> RouterView<'a> {
         } else {
             &self.cells.prev[jr.0 as usize]
         };
+        // detlint::allow(relaxed-atomic-output): cells are written only at barrier-separated level boundaries; within a level every read is a stable snapshot
         Asn(cell.load(Ordering::Relaxed))
     }
 
     /// The interface annotation of `j` (never written during a router
     /// sweep, so unversioned).
     pub fn iface(&self, j: IfIdx) -> Asn {
+        // detlint::allow(relaxed-atomic-output): iface cells are never written during a router sweep, so the load is a stable snapshot
         Asn(self.cells.iface[j.0 as usize].load(Ordering::Relaxed))
     }
 }
@@ -163,6 +165,7 @@ fn chunk(items: &[u32], worker: usize, workers: usize) -> &[u32] {
 pub(crate) fn shard_hash(shard: &Shard, cells: &SweepCells) -> u64 {
     let mut h = ShardHasher::new(CONVERGENCE_HASH_SEED);
     for &ir in &shard.irs {
+        // detlint::allow(relaxed-atomic-output): hashed after the sweep's final barrier, when cells are quiescent; determinism suite pins the trace
         h.write_u32(cells.router[ir as usize].load(Ordering::Relaxed));
     }
     for &j in &shard.ifaces {
@@ -227,6 +230,7 @@ pub(crate) fn converge_shard(
         // changed) so higher-index reads see pre-sweep values.
         for &ir in chunk(&shard.mid_path, worker, workers) {
             cells.prev[ir as usize].store(
+                // detlint::allow(relaxed-atomic-output): barrier-delimited snapshot copy; each cell has exactly one writer per level, pinned by the determinism suite
                 cells.router[ir as usize].load(Ordering::Relaxed),
                 Ordering::Relaxed,
             );
@@ -334,6 +338,7 @@ pub(crate) fn refine_parallel(
                 // one designated worker records it (trace and histogram).
                 ctx.sheet
                     .record(obs::names::HIST_SHARD_ITERATIONS, run.iterations as u64);
+                // detlint::allow(interior-mut-in-worker): slot-per-shard mailbox; exactly one designated worker (w == 0) writes each slot, so no lock-order dependence
                 *traces[idx].lock().unwrap() = run.trace;
             }
         }

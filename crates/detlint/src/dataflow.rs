@@ -1,0 +1,183 @@
+//! Phase B of the workspace analysis: cross-file order-taint propagation.
+//!
+//! Phase A ([`crate::index`]) gives every file's function definitions,
+//! taint facts, and call sites. This pass joins them into a name-matched
+//! call graph and runs a fixpoint: a function that *returns hash-collection
+//! iteration order* (it iterates a `HashMap`/`HashSet` and declares a
+//! return type) seeds taint, and every caller that itself returns a value
+//! inherits it transitively. Each call site of a tainted function becomes
+//! an `order-taint-flow` finding carrying the full propagation chain back
+//! to the seed, so the report shows *why* a call three crates away is
+//! implicated — and an allow on the call site must argue the order is
+//! neutralized (sorted, folded commutatively, count-only) right there.
+//!
+//! The seed condition deliberately ignores allow annotations on the
+//! iteration site itself: "order never escapes this function" is exactly
+//! the claim this pass machine-checks, so a justified iteration still
+//! taints callers until some frame demonstrably stops the flow.
+
+use crate::index::FileIndex;
+use crate::rules::{AllowCover, ChainStep, Finding, RULE_ORDER_TAINT_FLOW};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Workspace-level index/taint statistics, embedded in the v2 report and
+/// exported as the `detlint.*` counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct TaintSummary {
+    /// Function definitions indexed.
+    pub fns: usize,
+    /// Call sites whose callee name matches an indexed function.
+    pub call_edges: usize,
+    /// Seed functions (return hash-collection iteration order).
+    pub taint_sources: usize,
+    /// Functions tainted after the fixpoint (seeds included).
+    pub tainted_fns: usize,
+}
+
+/// Runs the fixpoint over per-file indexes (paired with that file's allow
+/// annotations) and returns the `order-taint-flow` findings plus summary
+/// statistics. `indexes` must be in deterministic (sorted-path) order; the
+/// output is then deterministic too — every map in here is a BTree.
+pub fn propagate(indexes: &[(FileIndex, Vec<AllowCover>)]) -> (Vec<Finding>, TaintSummary) {
+    // Function name -> definition facts, first definition in file order
+    // wins for chain anchoring. `returning` is the union over same-named
+    // definitions (over-approximation, documented in index.rs).
+    struct FnFacts {
+        file: String,
+        line: u32,
+        has_return: bool,
+        seeds: bool,
+    }
+    let mut fns: BTreeMap<String, FnFacts> = BTreeMap::new();
+    let mut fn_count = 0usize;
+    for (idx, _) in indexes {
+        for f in &idx.fns {
+            fn_count += 1;
+            let seeds = f.has_return && f.iterates_hash;
+            let e = fns.entry(f.name.clone()).or_insert(FnFacts {
+                file: f.file.clone(),
+                line: f.line,
+                has_return: f.has_return,
+                seeds: false,
+            });
+            e.has_return |= f.has_return;
+            e.seeds |= seeds;
+        }
+    }
+
+    // Callee name -> call sites, source order within the sorted file walk.
+    let mut calls_by_callee: BTreeMap<&str, Vec<&crate::index::CallSite>> = BTreeMap::new();
+    let mut call_edges = 0usize;
+    for (idx, _) in indexes {
+        for c in &idx.calls {
+            if fns.contains_key(&c.callee) {
+                call_edges += 1;
+                calls_by_callee
+                    .entry(c.callee.as_str())
+                    .or_default()
+                    .push(c);
+            }
+        }
+    }
+
+    // Fixpoint: tainted fn name -> chain from the seed's definition to the
+    // frame that tainted it. The worklist is a BTree so propagation order
+    // (and therefore which of several possible chains is recorded) is
+    // deterministic.
+    let mut tainted: BTreeMap<String, Vec<ChainStep>> = BTreeMap::new();
+    let mut worklist: Vec<String> = Vec::new();
+    let mut taint_sources = 0usize;
+    for (name, facts) in &fns {
+        if facts.seeds {
+            taint_sources += 1;
+            tainted.insert(
+                name.clone(),
+                vec![ChainStep {
+                    fn_name: name.clone(),
+                    file: facts.file.clone(),
+                    line: facts.line,
+                }],
+            );
+            worklist.push(name.clone());
+        }
+    }
+    while let Some(name) = worklist.pop() {
+        let chain = tainted[&name].clone();
+        for call in calls_by_callee.get(name.as_str()).into_iter().flatten() {
+            let Some(caller) = &call.caller else { continue };
+            if tainted.contains_key(caller) {
+                continue;
+            }
+            if !fns.get(caller).is_some_and(|f| f.has_return) {
+                continue; // the value cannot escape this frame by return
+            }
+            let caller_facts = &fns[caller];
+            let mut next = chain.clone();
+            next.push(ChainStep {
+                fn_name: caller.clone(),
+                file: caller_facts.file.clone(),
+                line: caller_facts.line,
+            });
+            tainted.insert(caller.clone(), next);
+            worklist.push(caller.clone());
+        }
+    }
+
+    // Findings: every call site of a tainted function, chain = callee's
+    // chain plus the call site itself.
+    let mut findings = Vec::new();
+    for (name, chain) in &tainted {
+        let seed = &chain[0];
+        for call in calls_by_callee.get(name.as_str()).into_iter().flatten() {
+            let mut full = chain.clone();
+            full.push(ChainStep {
+                fn_name: call
+                    .caller
+                    .clone()
+                    .unwrap_or_else(|| "<item scope>".to_string()),
+                file: call.file.clone(),
+                line: call.line,
+            });
+            let path: Vec<&str> = full.iter().map(|s| s.fn_name.as_str()).collect();
+            let mut f = Finding {
+                rule: RULE_ORDER_TAINT_FLOW.to_string(),
+                file: call.file.clone(),
+                line: call.line,
+                col: call.col,
+                message: format!(
+                    "call to `{name}` returns hash-collection iteration order \
+                     (seeded at {}:{}; chain: {})",
+                    seed.file,
+                    seed.line,
+                    path.join(" -> ")
+                ),
+                snippet: call.snippet.clone(),
+                allowed: None,
+                chain: Some(full),
+            };
+            // Apply the call-site file's allow annotations.
+            if let Some((_, allows)) = indexes.iter().find(|(i, _)| i.file == call.file) {
+                for a in allows {
+                    if a.lines.contains(&f.line)
+                        && a.rules.iter().any(|r| r == RULE_ORDER_TAINT_FLOW)
+                    {
+                        f.allowed = Some(a.reason.clone());
+                        break;
+                    }
+                }
+            }
+            findings.push(f);
+        }
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
+
+    let summary = TaintSummary {
+        fns: fn_count,
+        call_edges,
+        taint_sources,
+        tainted_fns: tainted.len(),
+    };
+    (findings, summary)
+}

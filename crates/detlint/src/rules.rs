@@ -27,6 +27,18 @@ pub const RULE_FLOAT_ACCUM: &str = "float-accum";
 pub const RULE_MISSING_FORBID_UNSAFE: &str = "missing-forbid-unsafe";
 /// Malformed or unknown `detlint::allow` annotation.
 pub const RULE_INVALID_ALLOW: &str = "invalid-allow";
+/// Closure passed to `WorkerPool::run`/`broadcast` captures an identifier
+/// also mutated outside the closure in the same file.
+pub const RULE_POOL_SHARED_CAPTURE: &str = "pool-shared-capture";
+/// A function with a return type performs an `Ordering::Relaxed` atomic
+/// load — an execution-dependent value positioned to flow into output.
+pub const RULE_RELAXED_ATOMIC_OUTPUT: &str = "relaxed-atomic-output";
+/// `Mutex`/`RefCell`/`Cell` use inside a worker closure outside the pool
+/// crate (lock/borrow order is scheduling-dependent).
+pub const RULE_INTERIOR_MUT_IN_WORKER: &str = "interior-mut-in-worker";
+/// Cross-file rule (phase B, [`crate::dataflow`]): a call site receives
+/// hash-collection iteration order through the call graph.
+pub const RULE_ORDER_TAINT_FLOW: &str = "order-taint-flow";
 
 /// All valid rule names (what `detlint::allow` may reference).
 pub const KNOWN_RULES: &[&str] = &[
@@ -37,6 +49,10 @@ pub const KNOWN_RULES: &[&str] = &[
     RULE_FLOAT_ACCUM,
     RULE_MISSING_FORBID_UNSAFE,
     RULE_INVALID_ALLOW,
+    RULE_POOL_SHARED_CAPTURE,
+    RULE_RELAXED_ATOMIC_OUTPUT,
+    RULE_INTERIOR_MUT_IN_WORKER,
+    RULE_ORDER_TAINT_FLOW,
 ];
 
 /// Hash-ordered collection type names (iteration order is unspecified).
@@ -62,8 +78,35 @@ const NONDET_IDENTS: &[&str] = &["DefaultHasher", "RandomState", "thread_rng"];
 const CLOCK_TYPES: &[&str] = &["SystemTime", "Instant"];
 
 /// The only file allowed to create threads (the shared work-stealing pool
-/// every pipeline phase dispatches on).
+/// every pipeline phase dispatches on). Also exempt from the
+/// worker-closure interior-mutability rule: the pool *is* the
+/// synchronization layer.
 const THREAD_EXEMPT_SUFFIX: &str = "pool/src/lib.rs";
+
+/// Interior-mutability type names flagged inside worker closures.
+const INTERIOR_MUT_TYPES: &[&str] = &["Mutex", "RefCell", "Cell"];
+
+/// Interior-mutability access methods flagged inside worker closures.
+const INTERIOR_MUT_METHODS: &[&str] = &["lock", "borrow", "borrow_mut"];
+
+/// Compound/simple assignment operators (mutation sites for the
+/// shared-capture rule). `==`, `=>`, `<=`, `>=` lex as distinct tokens.
+const ASSIGN_OPS: &[&str] = &[
+    "=", "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "<<=", ">>=",
+];
+
+/// One frame of an order-taint propagation chain: seed definition, then
+/// each function the taint traversed, ending at the reported call site.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChainStep {
+    /// Function name (`<item scope>` for calls outside any fn).
+    #[serde(rename = "fn")]
+    pub fn_name: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the definition (or call site, for the final step).
+    pub line: u32,
+}
 
 /// One diagnostic.
 #[derive(Clone, Debug, Serialize)]
@@ -83,6 +126,22 @@ pub struct Finding {
     /// Justification from a matching `detlint::allow`, if any.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub allowed: Option<String>,
+    /// Cross-file propagation chain (`order-taint-flow` findings only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub chain: Option<Vec<ChainStep>>,
+}
+
+/// A well-formed allow annotation with the source lines it covers —
+/// retained on [`FileAnalysis`] so the cross-file phase-B rules, which run
+/// after the per-file pass, can be silenced at their call sites too.
+#[derive(Clone, Debug)]
+pub struct AllowCover {
+    /// Lines the annotation silences (its own plus the next token's).
+    pub lines: BTreeSet<u32>,
+    /// Rule names the annotation lists.
+    pub rules: Vec<String>,
+    /// The justification text.
+    pub reason: String,
 }
 
 /// Analysis result for one file.
@@ -90,6 +149,8 @@ pub struct Finding {
 pub struct FileAnalysis {
     /// Every finding, including allowed ones.
     pub findings: Vec<Finding>,
+    /// Well-formed allow annotations (for phase-B allow application).
+    pub allows: Vec<AllowCover>,
 }
 
 impl FileAnalysis {
@@ -116,6 +177,18 @@ fn float_rule_applies(rel_path: &str) -> bool {
 /// a logical path independent of where the fixture lives on disk.
 pub fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
     let (toks, allows) = lex(source);
+    analyze_lexed(rel_path, source, &toks, &allows)
+}
+
+/// The per-file analysis over an already-lexed token stream — the shape the
+/// two-phase workspace driver uses so each file is lexed exactly once for
+/// both the rules and the symbol index.
+pub(crate) fn analyze_lexed(
+    rel_path: &str,
+    source: &str,
+    toks: &[crate::lexer::Tok],
+    allows: &[AllowSite],
+) -> FileAnalysis {
     let lines: Vec<&str> = source.lines().collect();
     let snippet = |line: u32| -> String {
         lines
@@ -128,7 +201,7 @@ pub fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
     // trailing comment) plus the line of the first token after it (for a
     // comment-above annotation).
     let mut allow_cover: Vec<(BTreeSet<u32>, &AllowSite)> = Vec::new();
-    for a in &allows {
+    for a in allows {
         let mut covered = BTreeSet::new();
         covered.insert(a.line);
         if let Some(t) = toks.iter().find(|t| t.line > a.line) {
@@ -147,6 +220,7 @@ pub fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
             message,
             snippet: snippet(tok_line),
             allowed: None,
+            chain: None,
         });
     };
 
@@ -527,8 +601,169 @@ pub fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
         }
     }
 
+    // ---- pool-concurrency rules -------------------------------------------
+    // These share phase A's span/closure scanners so the rules and the
+    // symbol index agree on what a function body and a worker closure are.
+    let spans = crate::index::fn_spans(toks);
+    let closures = crate::index::worker_closures(toks);
+    let last = toks.len().saturating_sub(1);
+
+    // ---- rule: relaxed-atomic-output ---------------------------------------
+    // Once per returning function, at its first `load(Ordering::Relaxed)`.
+    // Pure accounting reporters are exempt by name: the execution-dependent
+    // counter surface is their documented contract.
+    for s in &spans {
+        if !s.has_return || s.name.contains("stats") || s.name.contains("account") {
+            continue;
+        }
+        for k in s.body.0..=s.body.1.min(last) {
+            let t = &toks[k];
+            if t.is_ident("load")
+                && toks.get(k + 1).is_some_and(|p| p.is_punct("("))
+                && toks.get(k + 2).is_some_and(|o| o.is_ident("Ordering"))
+                && toks.get(k + 3).is_some_and(|p| p.is_punct("::"))
+                && toks.get(k + 4).is_some_and(|r| r.is_ident("Relaxed"))
+            {
+                push(
+                    RULE_RELAXED_ATOMIC_OUTPUT,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` declares a return type and reads an `Ordering::Relaxed` \
+                         atomic: the value is execution-dependent; keep it out of \
+                         deterministic output (or route it through exec-only metrics)",
+                        s.name
+                    ),
+                );
+                break;
+            }
+        }
+    }
+
+    // ---- rule: interior-mut-in-worker --------------------------------------
+    // Once per worker closure, at the first interior-mutability type or
+    // access method. The pool crate itself is the synchronization layer and
+    // is exempt.
+    if !rel_path.ends_with(THREAD_EXEMPT_SUFFIX) {
+        for c in &closures {
+            for k in c.body.0..=c.body.1.min(last) {
+                let t = &toks[k];
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                let type_hit = INTERIOR_MUT_TYPES.contains(&t.text.as_str());
+                let method_hit = INTERIOR_MUT_METHODS.contains(&t.text.as_str())
+                    && k >= 1
+                    && toks[k - 1].is_punct(".")
+                    && toks.get(k + 1).is_some_and(|p| p.is_punct("("));
+                if type_hit || method_hit {
+                    push(
+                        RULE_INTERIOR_MUT_IN_WORKER,
+                        t.line,
+                        t.col,
+                        format!(
+                            "worker closure passed to `{}` uses interior mutability \
+                             (`{}`): lock/borrow order is scheduling-dependent; merge \
+                             per-worker results after the batch instead",
+                            c.method, t.text
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    // ---- rule: pool-shared-capture -----------------------------------------
+    // A worker closure capturing an identifier that is also mutated outside
+    // the closure in the same file: shared mutable state across the pool
+    // boundary, whose final value depends on worker scheduling.
+    for c in &closures {
+        let in_body = |k: usize| k >= c.body.0 && k <= c.body.1;
+        // Closure-local `let` bindings are not captures.
+        let mut locals: BTreeSet<&str> = BTreeSet::new();
+        for k in c.body.0..=c.body.1.min(last) {
+            if toks[k].is_ident("let") {
+                let mut n = k + 1;
+                if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                    n += 1;
+                }
+                if let Some(t) = toks.get(n).filter(|t| t.kind == TokKind::Ident) {
+                    locals.insert(t.text.as_str());
+                }
+            }
+        }
+        // Names mutated outside the closure: `name =`/`name +=` (prev token
+        // not `let`/`mut`/`.`/`:`, so declarations and field stores don't
+        // count as mutating the bare name) or `&mut name`.
+        let mut mutated: BTreeSet<&str> = BTreeSet::new();
+        for m in 0..toks.len() {
+            if in_body(m) {
+                continue;
+            }
+            let t = &toks[m];
+            if t.kind == TokKind::Ident
+                && toks.get(m + 1).is_some_and(|op| {
+                    op.kind == TokKind::Punct && ASSIGN_OPS.contains(&op.text.as_str())
+                })
+            {
+                let decl_or_field = m > 0
+                    && (toks[m - 1].is_ident("let")
+                        || toks[m - 1].is_ident("mut")
+                        || toks[m - 1].is_punct(".")
+                        || toks[m - 1].is_punct(":"));
+                if !decl_or_field {
+                    mutated.insert(t.text.as_str());
+                }
+            }
+            if t.is_punct("&")
+                && toks.get(m + 1).is_some_and(|x| x.is_ident("mut"))
+                && !in_body(m + 2)
+            {
+                if let Some(x) = toks.get(m + 2).filter(|x| x.kind == TokKind::Ident) {
+                    mutated.insert(x.text.as_str());
+                }
+            }
+        }
+        // First occurrence of each captured candidate that is mutated
+        // outside: lowercase-initial ident, not a keyword, field access,
+        // path segment, struct-literal field name / type ascription
+        // (followed by `:`), parameter, or closure-local.
+        let mut reported: BTreeSet<&str> = BTreeSet::new();
+        for k in c.body.0..=c.body.1.min(last) {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident
+                || !t.text.chars().next().is_some_and(char::is_lowercase)
+                || crate::index::KEYWORDS.contains(&t.text.as_str())
+                || (k > 0 && toks[k - 1].is_punct("."))
+                || toks
+                    .get(k + 1)
+                    .is_some_and(|p| p.is_punct("::") || p.is_punct(":"))
+                || c.params.contains(&t.text)
+                || locals.contains(t.text.as_str())
+                || reported.contains(t.text.as_str())
+            {
+                continue;
+            }
+            if mutated.contains(t.text.as_str()) {
+                reported.insert(t.text.as_str());
+                push(
+                    RULE_POOL_SHARED_CAPTURE,
+                    t.line,
+                    t.col,
+                    format!(
+                        "worker closure passed to `{}` captures `{}`, which is also \
+                         mutated outside the closure: shared mutable state across \
+                         the pool boundary makes results depend on worker scheduling",
+                        c.method, t.text
+                    ),
+                );
+            }
+        }
+    }
+
     // ---- rule: invalid-allow ----------------------------------------------
-    for a in &allows {
+    for a in allows {
         if !a.well_formed || a.reason.is_empty() {
             push(
                 RULE_INVALID_ALLOW,
@@ -573,5 +808,15 @@ pub fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
         .sort_by(|a, b| (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str())));
     findings.dedup_by(|a, b| (a.line, a.col, &a.rule) == (b.line, b.col, &b.rule));
 
-    FileAnalysis { findings }
+    let allows = allow_cover
+        .iter()
+        .filter(|(_, a)| a.well_formed && !a.reason.is_empty())
+        .map(|(covered, a)| AllowCover {
+            lines: covered.clone(),
+            rules: a.rules.clone(),
+            reason: a.reason.clone(),
+        })
+        .collect();
+
+    FileAnalysis { findings, allows }
 }

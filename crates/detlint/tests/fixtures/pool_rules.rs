@@ -1,0 +1,28 @@
+//! Positive fixture: the pool-concurrency rules.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+fn scan(wp: &Pool) -> usize {
+    let mut total = 0;
+    let cache = Mutex::new(Vec::new());
+    let out = wp.run("detlint.busy", 8, |i| {
+        total += i;
+        cache.lock().unwrap().push(i);
+        i * 2
+    });
+    total = out.len();
+    total
+}
+
+fn counter_value(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+fn stats_view(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+fn bump(c: &AtomicU64) {
+    let _ = c.load(Ordering::Relaxed);
+}

@@ -1,0 +1,19 @@
+#![forbid(unsafe_code)]
+//! Negative fixture: exempt shapes for the pool-concurrency rules.
+
+fn stats(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+fn account(c: &AtomicU64) {
+    c.load(Ordering::Relaxed);
+}
+
+fn tally(wp: &Pool) -> usize {
+    let total = 0;
+    let out = wp.run("t", 4, |i| {
+        let local = total + i;
+        local
+    });
+    out.len()
+}

@@ -163,3 +163,65 @@ fn malformed_allows_are_findings() {
         ]
     );
 }
+
+#[test]
+fn pool_rules_positive_spans() {
+    assert_eq!(
+        spans("crates/demo/src/pool_rules.rs", "pool_rules.rs"),
+        vec![
+            s("pool-shared-capture", 10, 9, false), // total += i inside worker
+            s("interior-mut-in-worker", 11, 15, false), // cache.lock()
+            s("relaxed-atomic-output", 19, 7, false), // counter_value's load
+        ]
+    );
+}
+
+#[test]
+fn pool_rules_negative_shapes_are_clean() {
+    // stats/account-named reporters, a no-return fn, a never-mutated
+    // capture, and a closure-local let: none fire.
+    assert_eq!(
+        spans("crates/demo/src/lib.rs", "pool_rules_negative.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn pool_crate_is_exempt_from_interior_mut_only() {
+    // Under the pool's own path the interior-mutability rule stands down
+    // (the pool IS the synchronization layer), but shared captures and
+    // relaxed loads in returning fns are still hazards there.
+    assert_eq!(
+        spans("crates/pool/src/lib.rs", "pool_rules.rs"),
+        vec![
+            s("missing-forbid-unsafe", 1, 1, false), // fixture has no header
+            s("pool-shared-capture", 10, 9, false),
+            s("relaxed-atomic-output", 19, 7, false),
+        ]
+    );
+}
+
+#[test]
+fn raw_byte_and_c_strings_never_leak_identifier_tokens() {
+    // br#"…"#/cr#"…"# contents are literal text: no nondet-source or
+    // unscoped-thread findings, and no identifier token at all.
+    assert_eq!(
+        spans("crates/demo/src/rawstr.rs", "rawstr_negative.rs"),
+        vec![]
+    );
+    let (toks, _) = detlint::lexer::lex(&fixture("rawstr_negative.rs"));
+    for banned in [
+        "thread_rng",
+        "DefaultHasher",
+        "RandomState",
+        "rayon",
+        "crossbeam",
+    ] {
+        assert!(
+            !toks
+                .iter()
+                .any(|t| t.kind == detlint::lexer::TokKind::Ident && t.text == banned),
+            "`{banned}` leaked out of a raw string as an identifier token"
+        );
+    }
+}

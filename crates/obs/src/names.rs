@@ -89,6 +89,20 @@ pub const HIST_SHARD_ITERATIONS: &str = "refine.shard_iterations";
 /// Wavefront levels, one sample per shard.
 pub const HIST_SHARD_WAVEFRONTS: &str = "refine.shard_wavefronts";
 
+// ---- detlint static-analysis counters ----------------------------------------
+// Deterministic: pure functions of the scanned source tree.
+
+/// Source files the detlint workspace scan lexed and indexed.
+pub const DETLINT_FILES: &str = "detlint.files";
+/// Function definitions in the detlint symbol index.
+pub const DETLINT_FNS: &str = "detlint.fns";
+/// Name-matched call edges in the detlint call graph.
+pub const DETLINT_CALL_EDGES: &str = "detlint.call_edges";
+/// Functions seeding order taint (return hash-collection iteration order).
+pub const DETLINT_TAINT_SOURCES: &str = "detlint.taint_sources";
+/// Functions carrying order taint after the cross-file fixpoint.
+pub const DETLINT_TAINTED_FNS: &str = "detlint.tainted_fns";
+
 // ---- execution-dependent metrics -------------------------------------------
 // Vary with thread count and scheduling (per-worker caches); reported for
 // tuning but excluded from the deterministic view.
@@ -113,6 +127,9 @@ pub const EXEC_POOL_BUSY_CAMPAIGN: &str = "pool.busy_us.campaign";
 pub const EXEC_POOL_BUSY_GRAPH: &str = "pool.busy_us.graph";
 /// Aggregate pool worker busy time in phase-3 refinement, microseconds.
 pub const EXEC_POOL_BUSY_REFINE: &str = "pool.busy_us.refine";
+/// Aggregate pool worker busy time in detlint's phase-A file scan,
+/// microseconds.
+pub const EXEC_POOL_BUSY_DETLINT: &str = "pool.busy_us.detlint";
 /// Connections accepted by the query server. Traffic-driven, so every
 /// serve counter is execution-dependent by construction.
 pub const EXEC_SERVE_CONNECTIONS: &str = "serve.connections";

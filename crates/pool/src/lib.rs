@@ -60,6 +60,24 @@ use std::sync::Arc;
 /// enough that per-task overhead is amortized over many items.
 pub const TASKS_PER_WORKER: usize = 8;
 
+/// The canonical chunked deal-out: worker `w` of `crew` owns the contiguous
+/// half-open task interval `[tasks*w/crew, tasks*(w+1)/crew)`. Factored out
+/// of [`WorkerPool::run`] so the loom protocol model (tests/loom_model.rs)
+/// checks the very arithmetic production uses, not a reimplementation.
+pub fn deal_intervals(tasks: usize, crew: usize) -> Vec<(usize, usize)> {
+    (0..crew)
+        .map(|w| (tasks * w / crew, tasks * (w + 1) / crew))
+        .collect()
+}
+
+/// How many tasks a thief splits off the back of a victim interval with
+/// `rem` tasks remaining: the back half, rounded up so a 1-task interval is
+/// still stealable. Shared with the loom protocol model like
+/// [`deal_intervals`].
+pub fn steal_take(rem: usize) -> usize {
+    rem.div_ceil(2)
+}
+
 /// Cumulative scheduling statistics, across every batch a pool has run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
@@ -167,6 +185,10 @@ impl WorkerPool {
         job: impl Fn(usize) -> T + Sync,
     ) -> Vec<T> {
         if tasks == 0 {
+            // An empty batch is still a dispatched batch: `batches` counts
+            // every `run` invocation so callers can reconcile call counts
+            // against the stats (PoolStats accounting contract).
+            self.account(busy, 0, 0, 0);
             return Vec::new();
         }
         let crew = self.workers.min(tasks);
@@ -180,8 +202,9 @@ impl WorkerPool {
         // Chunked deal-out: worker `w` owns the contiguous task interval
         // `[tasks*w/crew, tasks*(w+1)/crew)`; intervals shrink from the
         // front as the owner pops and from the back as thieves split.
-        let slots: Vec<Mutex<(usize, usize)>> = (0..crew)
-            .map(|w| Mutex::new((tasks * w / crew, tasks * (w + 1) / crew)))
+        let slots: Vec<Mutex<(usize, usize)>> = deal_intervals(tasks, crew)
+            .into_iter()
+            .map(Mutex::new)
             .collect();
         let steals = AtomicU64::new(0);
         let busy_ns = AtomicU64::new(0);
@@ -213,6 +236,7 @@ impl WorkerPool {
         self.account(
             busy,
             tasks as u64,
+            // detlint::allow(relaxed-atomic-output): counters feed the exec-only PoolStats/metrics surface, never the returned Vec
             steals.load(Ordering::Relaxed),
             busy_ns.load(Ordering::Relaxed),
         );
@@ -233,6 +257,8 @@ impl WorkerPool {
         job: impl Fn(usize) -> T + Sync,
     ) -> Vec<T> {
         if crew == 0 {
+            // Same contract as `run`: an empty crew still counts a batch.
+            self.account(busy, 0, 0, 0);
             return Vec::new();
         }
         if crew == 1 {
@@ -270,6 +296,7 @@ impl WorkerPool {
         for (i, v) in rx {
             out[i] = Some(v);
         }
+        // detlint::allow(relaxed-atomic-output): busy-time counter feeds the exec-only PoolStats/metrics surface, never the returned Vec
         self.account(busy, crew as u64, 0, busy_ns.load(Ordering::Relaxed));
         out.into_iter()
             .map(|s| s.expect("broadcast crew member lost"))
@@ -336,7 +363,7 @@ fn steal_loop<T: Send, F: Fn(usize) -> T + Sync>(
             if rem == 0 {
                 continue; // raced with the owner; rescan
             }
-            let take = rem.div_ceil(2);
+            let take = steal_take(rem);
             g.1 -= take;
             (g.1, g.1 + take)
         };
@@ -453,6 +480,51 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.tasks, 17);
         assert_eq!(stats.batches, 3);
+    }
+
+    /// PoolStats accounting contract: `tasks` is the sum of per-batch sizes
+    /// and `batches` increments exactly once per `run`/`broadcast`
+    /// invocation — including the empty-input early-return paths.
+    #[test]
+    fn stats_account_every_batch_including_empty() {
+        let pool = WorkerPool::new(3);
+        let sizes = [0usize, 7, 1, 0, 12];
+        for &n in &sizes {
+            pool.run("pool.busy_us.test", n, |i| i);
+        }
+        pool.broadcast("pool.busy_us.test", 0, |w| w);
+        pool.broadcast("pool.busy_us.test", 2, |w| w);
+        let stats = pool.stats();
+        let run_tasks: usize = sizes.iter().sum();
+        assert_eq!(
+            stats.tasks,
+            run_tasks as u64 + 2,
+            "tasks == sum of per-batch sizes (broadcast crew slots included)"
+        );
+        assert_eq!(
+            stats.batches,
+            sizes.len() as u64 + 2,
+            "every run/broadcast counts one batch, empty inputs included"
+        );
+    }
+
+    /// The factored deal-out must partition `0..tasks` into contiguous,
+    /// non-overlapping, exhaustive per-worker intervals for every shape.
+    #[test]
+    fn deal_intervals_partition_the_index_space() {
+        for tasks in 0..48 {
+            for crew in 1..9 {
+                let iv = deal_intervals(tasks, crew);
+                assert_eq!(iv.len(), crew);
+                assert_eq!(iv[0].0, 0);
+                assert_eq!(iv[crew - 1].1, tasks);
+                for w in 1..crew {
+                    assert_eq!(iv[w - 1].1, iv[w].0, "gap or overlap at worker {w}");
+                }
+            }
+        }
+        assert_eq!(steal_take(1), 1, "a 1-task interval is still stealable");
+        assert_eq!(steal_take(7), 4, "thieves take the back half, rounded up");
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Offline vendored subset of **loom**: a model checker for concurrent Rust.
+//!
+//! [`model`] runs a closure over and over, exploring every distinct
+//! interleaving of the *scheduler-visible operations* it performs — thread
+//! spawn/join, [`sync::Mutex`] lock/unlock, and [`sync::atomic`] accesses —
+//! up to a preemption bound. All loom threads are real OS threads, but only
+//! one runs at a time: each visible operation is a scheduling point where a
+//! cooperative scheduler decides (and records) which thread proceeds, so
+//! every execution is deterministic given its decision sequence and the
+//! whole decision tree can be walked depth-first.
+//!
+//! Scope of the vendored subset (documented deviations from upstream loom):
+//!
+//! * **Sequential consistency only.** Every atomic access is modeled as
+//!   `SeqCst` regardless of the `Ordering` passed; the checker explores
+//!   interleavings, not weak-memory reorderings. A protocol proven here is
+//!   proven against every thread schedule, not against every hardware
+//!   memory model.
+//! * **Preemption bounding.** Exploration is exhaustive up to
+//!   `LOOM_MAX_PREEMPTIONS` involuntary context switches per execution
+//!   (default 2, upstream loom's default). Empirically almost all
+//!   concurrency bugs manifest within two preemptions.
+//! * Threads must reach scheduling points to be preempted: a spin loop that
+//!   performs no loom operation never yields and would hang the model. Use
+//!   [`thread::yield_now`] in busy-wait loops.
+//! * Primitives are usable only from inside a [`model`] closure (or a
+//!   thread it spawned); `Mutex`/atomic values must not be shared across
+//!   `model` invocations.
+//!
+//! Failure reporting: a panic on any interleaving (an assertion in the model
+//! closure, an unjoined child panic, or a detected deadlock) propagates out
+//! of [`model`], so `#[test] fn x() { loom::model(|| ...) }` fails exactly
+//! when some interleaving violates the model's assertions.
+
+mod sched;
+
+pub mod thread;
+
+pub mod sync;
+
+use std::sync::Arc;
+
+/// Explores every interleaving of `f`'s scheduler-visible operations (up to
+/// the preemption bound) and panics if any execution panics or deadlocks.
+///
+/// Environment knobs:
+/// * `LOOM_MAX_PREEMPTIONS` — involuntary-switch budget per execution
+///   (default 2).
+/// * `LOOM_MAX_EXECUTIONS` — abort the model (panic) if the tree exceeds
+///   this many executions (default 200 000), as a runaway guard.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_executions = env_usize("LOOM_MAX_EXECUTIONS", 200_000);
+    let f = Arc::new(f);
+    let mut stack: Vec<sched::BranchPoint> = Vec::new();
+    let mut executions: usize = 0;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= max_executions,
+            "loom: model exceeded {max_executions} executions; \
+             shrink the model or raise LOOM_MAX_EXECUTIONS"
+        );
+        let outcome = sched::run_one_execution(f.clone(), stack, max_preemptions);
+        match outcome.failure {
+            Some(sched::Failure::Deadlock) => panic!(
+                "loom: deadlock detected after {executions} execution(s): \
+                 every live thread is blocked"
+            ),
+            Some(sched::Failure::Panic(payload)) => std::panic::resume_unwind(payload),
+            None => {}
+        }
+        stack = outcome.stack;
+        // Depth-first advance: drop exhausted suffix decisions, bump the
+        // deepest one with an untried alternative, replay that prefix.
+        while let Some(top) = stack.last_mut() {
+            if top.chosen + 1 < top.alternatives.len() {
+                top.chosen += 1;
+                break;
+            }
+            stack.pop();
+        }
+        if stack.is_empty() {
+            break;
+        }
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn deterministic_single_thread() {
+        super::model(|| {
+            let a = AtomicUsize::new(0);
+            a.store(3, Ordering::SeqCst);
+            assert_eq!(a.load(Ordering::SeqCst), 3);
+        });
+    }
+
+    #[test]
+    fn finds_lost_update() {
+        // Classic torn read-modify-write: two threads doing load-then-store
+        // lose an increment under some interleaving. The model must find it.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            super::model(|| {
+                let a = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let a = Arc::clone(&a);
+                        super::thread::spawn(move || {
+                            let v = a.load(Ordering::SeqCst);
+                            a.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+            });
+        }));
+        assert!(caught.is_err(), "model must expose the lost update");
+    }
+
+    #[test]
+    fn mutex_excludes_and_fetch_add_is_atomic() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    super::thread::spawn(move || {
+                        let mut g = m.lock().unwrap();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            super::model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let h = super::thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+                drop(_ga);
+                drop(_gb);
+                let _ = h.join();
+            });
+        }));
+        assert!(caught.is_err(), "AB/BA lock order must deadlock somewhere");
+    }
+
+    #[test]
+    fn child_panic_propagates_through_join() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            super::model(|| {
+                let h = super::thread::spawn(|| panic!("child exploded"));
+                let r = h.join();
+                assert!(r.is_err());
+                // Swallowing the payload is fine: the model itself passes.
+            });
+        }));
+        assert!(caught.is_ok(), "joined panic is the caller's to handle");
+    }
+}

@@ -1,0 +1,426 @@
+//! The cooperative scheduler and depth-first schedule explorer.
+//!
+//! One [`Sched`] exists per *execution*. Every loom thread is an OS thread
+//! that parks on the shared condvar until the scheduler hands it the baton
+//! (`cur == my id`). Each scheduler-visible operation calls [`Sched::point`]
+//! (or a blocking variant), where the next thread is chosen. Choices with
+//! more than one alternative are recorded as [`BranchPoint`]s; the explorer
+//! in `lib.rs` replays a recorded prefix and advances the deepest
+//! unexhausted branch, which walks the full decision tree depth-first.
+//!
+//! Determinism argument: given a forced decision prefix, the execution is a
+//! pure function of the model closure — thread ids are assigned in spawn
+//! order, mutex ids in first-lock order, and only the chosen thread ever
+//! runs — so the alternatives at each replayed decision are identical to
+//! the recording run and the tree is explored soundly.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+
+pub(crate) type Payload = Box<dyn Any + Send + 'static>;
+
+/// Panic payload used to unwind loom threads when an execution is being
+/// torn down (deadlock or completed-with-failure); never user-visible.
+pub(crate) struct AbortSentinel;
+
+/// One recorded scheduling decision with more than one alternative.
+#[derive(Clone, Debug)]
+pub struct BranchPoint {
+    /// Runnable thread ids at the decision, current-thread first.
+    pub alternatives: Vec<usize>,
+    /// Index into `alternatives` chosen on the most recent execution.
+    pub chosen: usize,
+}
+
+/// Why an execution failed.
+pub(crate) enum Failure {
+    /// Some live thread set was entirely blocked.
+    Deadlock,
+    /// A thread panicked and the payload was never consumed by `join`.
+    Panic(Payload),
+}
+
+/// What one execution produced: the (possibly grown) decision stack and an
+/// optional failure.
+pub(crate) struct Outcome {
+    pub stack: Vec<BranchPoint>,
+    pub failure: Option<Failure>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum State {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct Inner {
+    states: Vec<State>,
+    /// Thread currently holding the baton.
+    cur: usize,
+    /// Count of multi-alternative decisions taken so far this execution.
+    decision: usize,
+    /// Involuntary context switches consumed this execution.
+    preemptions: usize,
+    max_preemptions: usize,
+    /// Held flag per registered mutex.
+    mutexes: Vec<bool>,
+    /// Uncaught panic payload per thread, consumed by `join`.
+    panics: Vec<Option<Payload>>,
+    finished: usize,
+    total: usize,
+    abort: bool,
+    deadlock: bool,
+    /// Recorded decision stack (forced prefix + fresh growth).
+    stack: Vec<BranchPoint>,
+}
+
+pub(crate) struct Sched {
+    inner: StdMutex<Inner>,
+    cv: Condvar,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler + thread id of the calling loom thread.
+pub(crate) fn ctx() -> (Arc<Sched>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitive used outside loom::model")
+    })
+}
+
+type Guard<'a> = std::sync::MutexGuard<'a, Inner>;
+
+impl Sched {
+    fn lock(&self) -> Guard<'_> {
+        // Inner is only poisoned if a thread panicked *while holding it*,
+        // which the scheduler never does on purpose; recover the data.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Chooses the next thread to run and updates `cur`, recording a branch
+    /// point when more than one thread could have been chosen. Returns
+    /// `false` when no thread is runnable (deadlock if any are blocked).
+    fn choose_next(g: &mut Inner) -> bool {
+        let mut runnable: Vec<usize> = (0..g.total)
+            .filter(|&t| g.states[t] == State::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            return false;
+        }
+        // Current thread first, so the default (first-choice) path runs each
+        // thread as long as it can — preemptions are the explored deviation,
+        // not the baseline.
+        let cur_runnable = g.states[g.cur] == State::Runnable;
+        if cur_runnable {
+            runnable.retain(|&t| t != g.cur);
+            runnable.insert(0, g.cur);
+        }
+        let alternatives: Vec<usize> = if cur_runnable && g.preemptions >= g.max_preemptions {
+            vec![g.cur]
+        } else {
+            runnable
+        };
+        let chosen = if alternatives.len() == 1 {
+            alternatives[0]
+        } else {
+            let d = g.decision;
+            g.decision += 1;
+            if d < g.stack.len() {
+                debug_assert_eq!(
+                    g.stack[d].alternatives, alternatives,
+                    "loom: nondeterministic replay — alternatives diverged at decision {d}"
+                );
+                g.stack[d].alternatives[g.stack[d].chosen]
+            } else {
+                g.stack.push(BranchPoint {
+                    alternatives,
+                    chosen: 0,
+                });
+                g.stack[d].alternatives[0]
+            }
+        };
+        if cur_runnable && chosen != g.cur {
+            g.preemptions += 1;
+        }
+        g.cur = chosen;
+        true
+    }
+
+    fn abort_all(&self, g: &mut Inner, deadlock: bool) {
+        g.abort = true;
+        g.deadlock = g.deadlock || deadlock;
+        self.cv.notify_all();
+    }
+
+    /// A voluntary scheduling point for the active thread: pick the next
+    /// thread (possibly self) and wait for the baton to come back.
+    pub(crate) fn point(self: &Arc<Self>, me: usize) {
+        let mut g = self.lock();
+        if g.abort {
+            drop(g);
+            std::panic::panic_any(AbortSentinel);
+        }
+        debug_assert_eq!(g.cur, me, "scheduling point from a parked thread");
+        let ok = Self::choose_next(&mut g);
+        debug_assert!(ok, "the caller itself is runnable");
+        if g.cur != me {
+            self.cv.notify_all();
+            self.wait_for_baton(g, me);
+        }
+    }
+
+    /// Marks the active thread blocked with `state`, hands the baton away,
+    /// and waits until this thread is runnable and chosen again.
+    fn block(self: &Arc<Self>, me: usize, state: State) {
+        let mut g = self.lock();
+        if g.abort {
+            drop(g);
+            std::panic::panic_any(AbortSentinel);
+        }
+        g.states[me] = state;
+        if !Self::choose_next(&mut g) {
+            // Everyone is blocked or finished: the model deadlocked.
+            self.abort_all(&mut g, true);
+            drop(g);
+            std::panic::panic_any(AbortSentinel);
+        }
+        self.cv.notify_all();
+        self.wait_for_baton(g, me);
+    }
+
+    fn wait_for_baton(self: &Arc<Self>, mut g: Guard<'_>, me: usize) {
+        while g.cur != me && !g.abort {
+            g = self
+                .cv
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if g.abort {
+            drop(g);
+            std::panic::panic_any(AbortSentinel);
+        }
+    }
+
+    // ---- thread lifecycle --------------------------------------------------
+
+    /// Registers a new loom thread; returns its id. Caller must be active.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut g = self.lock();
+        let tid = g.total;
+        g.total += 1;
+        g.states.push(State::Runnable);
+        g.panics.push(None);
+        tid
+    }
+
+    pub(crate) fn push_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(h);
+    }
+
+    /// Entry protocol for a freshly spawned loom thread: park until chosen.
+    fn wait_for_start(self: &Arc<Self>, me: usize) -> bool {
+        let mut g = self.lock();
+        while g.cur != me && !g.abort {
+            g = self
+                .cv
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        !g.abort
+    }
+
+    /// Exit protocol: mark finished, wake joiners, pass the baton on.
+    fn finish(self: &Arc<Self>, me: usize, panic: Option<Payload>) {
+        let mut g = self.lock();
+        g.states[me] = State::Finished;
+        g.finished += 1;
+        g.panics[me] = panic;
+        for t in 0..g.total {
+            if g.states[t] == State::BlockedJoin(me) {
+                g.states[t] = State::Runnable;
+            }
+        }
+        if g.finished == g.total {
+            // Execution complete; wake the orchestrator.
+            self.cv.notify_all();
+            return;
+        }
+        if Self::choose_next(&mut g) {
+            self.cv.notify_all();
+        } else if !g.abort {
+            // Unfinished threads remain but none can run.
+            self.abort_all(&mut g, true);
+        }
+    }
+
+    /// Blocks until thread `tid` finishes; returns its panic payload if it
+    /// panicked (consuming it, as `join` does).
+    pub(crate) fn join_thread(self: &Arc<Self>, me: usize, tid: usize) -> Option<Payload> {
+        self.point(me);
+        loop {
+            {
+                let mut g = self.lock();
+                if g.abort {
+                    drop(g);
+                    std::panic::panic_any(AbortSentinel);
+                }
+                if g.states[tid] == State::Finished {
+                    return g.panics[tid].take();
+                }
+            }
+            self.block(me, State::BlockedJoin(tid));
+        }
+    }
+
+    // ---- mutex protocol ----------------------------------------------------
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut g = self.lock();
+        let mid = g.mutexes.len();
+        g.mutexes.push(false);
+        mid
+    }
+
+    pub(crate) fn lock_mutex(self: &Arc<Self>, me: usize, mid: usize) {
+        self.point(me);
+        loop {
+            {
+                let mut g = self.lock();
+                if g.abort {
+                    drop(g);
+                    std::panic::panic_any(AbortSentinel);
+                }
+                if !g.mutexes[mid] {
+                    g.mutexes[mid] = true;
+                    return;
+                }
+            }
+            self.block(me, State::BlockedMutex(mid));
+        }
+    }
+
+    pub(crate) fn unlock_mutex(self: &Arc<Self>, me: usize, mid: usize) {
+        {
+            let mut g = self.lock();
+            g.mutexes[mid] = false;
+            for t in 0..g.total {
+                if g.states[t] == State::BlockedMutex(mid) {
+                    g.states[t] = State::Runnable;
+                }
+            }
+        }
+        // Releasing is itself a visible event — but never a panic site when
+        // the guard is dropped during an unwind (a panic inside a panic
+        // aborts the process).
+        if !std::thread::panicking() {
+            self.point(me);
+        }
+    }
+}
+
+/// Spawns a loom thread running `body`, parking it until scheduled. Must be
+/// called by the active thread (or the orchestrator for the root).
+pub(crate) fn spawn_loom_thread<F>(sched: &Arc<Sched>, tid: usize, body: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let sched2 = Arc::clone(sched);
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched2), tid)));
+            if !sched2.wait_for_start(tid) {
+                // Aborted before ever running.
+                sched2.finish(tid, None);
+                return;
+            }
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+            let payload = match result {
+                Ok(()) => None,
+                Err(p) if p.is::<AbortSentinel>() => None,
+                Err(p) => Some(p),
+            };
+            sched2.finish(tid, payload);
+        })
+        .expect("spawn loom thread");
+    sched.push_os_handle(handle);
+}
+
+/// Runs one execution: replay `stack`'s forced prefix, record fresh
+/// decisions beyond it, return the grown stack and any failure.
+pub(crate) fn run_one_execution<F>(
+    f: Arc<F>,
+    stack: Vec<BranchPoint>,
+    max_preemptions: usize,
+) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let sched = Arc::new(Sched {
+        inner: StdMutex::new(Inner {
+            states: vec![State::Runnable],
+            cur: 0,
+            decision: 0,
+            preemptions: 0,
+            max_preemptions,
+            mutexes: Vec::new(),
+            panics: vec![None],
+            finished: 0,
+            total: 1,
+            abort: false,
+            deadlock: false,
+            stack,
+        }),
+        cv: Condvar::new(),
+        os_handles: StdMutex::new(Vec::new()),
+    });
+
+    spawn_loom_thread(&sched, 0, move || f());
+
+    // Wait for every loom thread to finish (deadlock teardown included:
+    // abort wakes parked threads, which unwind via the sentinel and still
+    // pass through `finish`).
+    {
+        let mut g = sched.lock();
+        while g.finished < g.total {
+            g = sched
+                .cv
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    let handles: Vec<_> = std::mem::take(
+        &mut *sched
+            .os_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner),
+    );
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let mut g = sched.lock();
+    let failure = if g.deadlock {
+        Some(Failure::Deadlock)
+    } else {
+        g.panics
+            .iter_mut()
+            .find_map(Option::take)
+            .map(Failure::Panic)
+    };
+    Outcome {
+        stack: std::mem::take(&mut g.stack),
+        failure,
+    }
+}

@@ -1,0 +1,204 @@
+//! Loom-instrumented synchronization primitives.
+//!
+//! Shapes mirror [`std::sync`]: code under test swaps `use std::sync::…` for
+//! `use loom::sync::…` behind `#[cfg(loom)]` and compiles unchanged. Every
+//! lock, unlock, and atomic access is a scheduling point; atomic accesses
+//! are modeled as `SeqCst` regardless of the ordering passed (see crate
+//! docs for the deviation list).
+
+use crate::sched;
+
+pub use std::sync::Arc;
+
+/// A mutex whose lock/unlock are scheduling points and whose blocking is
+/// mediated by the model scheduler (so lock cycles are reported as model
+/// deadlocks instead of hanging the test).
+pub struct Mutex<T> {
+    /// Scheduler slot, registered on first lock (new() may run before the
+    /// value is shared, and ids must be assigned in a replay-stable order —
+    /// first-lock order is deterministic given a decision prefix).
+    mid: std::sync::OnceLock<usize>,
+    data: std::sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    /// `Some` until dropped; the std guard is released before the scheduler
+    /// is told the mutex is free.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            mid: std::sync::OnceLock::new(),
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn mid(&self) -> usize {
+        *self
+            .mid
+            .get_or_init(|| sched::ctx().0.register_mutex())
+    }
+
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        let mid = self.mid();
+        let (sched, me) = sched::ctx();
+        sched.lock_mutex(me, mid);
+        // Logical ownership is exclusive, so the std lock is uncontended.
+        let inner = self
+            .data
+            .try_lock()
+            .expect("loom Mutex: logical owner found the std lock held");
+        Ok(MutexGuard {
+            mutex: self,
+            inner: Some(inner),
+        })
+    }
+
+    pub fn into_inner(self) -> std::sync::LockResult<T> {
+        Ok(self
+            .data
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        let (sched, me) = sched::ctx();
+        sched.unlock_mutex(me, self.mutex.mid());
+    }
+}
+
+pub mod atomic {
+    //! Atomics whose every access is a scheduling point, modeled `SeqCst`.
+
+    use crate::sched;
+
+    pub use std::sync::atomic::Ordering;
+
+    const SC: Ordering = Ordering::SeqCst;
+
+    fn point() {
+        let (sched, me) = sched::ctx();
+        sched.point(me);
+    }
+
+    macro_rules! int_atomic {
+        ($name:ident, $std:ident, $int:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$std);
+
+            impl $name {
+                pub const fn new(v: $int) -> Self {
+                    Self(std::sync::atomic::$std::new(v))
+                }
+
+                pub fn load(&self, _order: Ordering) -> $int {
+                    point();
+                    self.0.load(SC)
+                }
+
+                pub fn store(&self, v: $int, _order: Ordering) {
+                    point();
+                    self.0.store(v, SC)
+                }
+
+                pub fn swap(&self, v: $int, _order: Ordering) -> $int {
+                    point();
+                    self.0.swap(v, SC)
+                }
+
+                pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
+                    point();
+                    self.0.fetch_add(v, SC)
+                }
+
+                pub fn fetch_sub(&self, v: $int, _order: Ordering) -> $int {
+                    point();
+                    self.0.fetch_sub(v, SC)
+                }
+
+                pub fn fetch_max(&self, v: $int, _order: Ordering) -> $int {
+                    point();
+                    self.0.fetch_max(v, SC)
+                }
+
+                pub fn fetch_min(&self, v: $int, _order: Ordering) -> $int {
+                    point();
+                    self.0.fetch_min(v, SC)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$int, $int> {
+                    point();
+                    self.0.compare_exchange(current, new, SC, SC)
+                }
+
+                pub fn into_inner(self) -> $int {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicUsize, AtomicUsize, usize);
+    int_atomic!(AtomicU64, AtomicU64, u64);
+    int_atomic!(AtomicU32, AtomicU32, u32);
+
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            Self(std::sync::atomic::AtomicBool::new(v))
+        }
+
+        pub fn load(&self, _order: Ordering) -> bool {
+            point();
+            self.0.load(SC)
+        }
+
+        pub fn store(&self, v: bool, _order: Ordering) {
+            point();
+            self.0.store(v, SC)
+        }
+
+        pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+            point();
+            self.0.swap(v, SC)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<bool, bool> {
+            point();
+            self.0.compare_exchange(current, new, SC, SC)
+        }
+    }
+}

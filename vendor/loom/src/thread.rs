@@ -1,0 +1,62 @@
+//! Loom-scheduled threads: same shape as [`std::thread`], but every spawn,
+//! join, and yield is a scheduling point explored by the model.
+
+use crate::sched;
+
+/// Handle to a loom thread; `join` blocks (at a scheduling point) until the
+/// thread finishes and returns its value, or `Err` with the panic payload.
+pub struct JoinHandle<T> {
+    tid: usize,
+    // Written exactly once by the child before it finishes; read after join
+    // observes `Finished`, so the lock is never contended.
+    result: std::sync::Arc<std::sync::Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        let (sched, me) = sched::ctx();
+        match sched.join_thread(me, self.tid) {
+            Some(payload) => Err(payload),
+            None => {
+                let v = self
+                    .result
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("loom thread finished without a value or a panic");
+                Ok(v)
+            }
+        }
+    }
+}
+
+/// Spawns a loom thread. The closure starts parked and runs only when the
+/// scheduler picks it, so spawn order alone never determines execution order.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, me) = sched::ctx();
+    let tid = sched.register_thread();
+    let result = std::sync::Arc::new(std::sync::Mutex::new(None));
+    let slot = std::sync::Arc::clone(&result);
+    sched::spawn_loom_thread(&sched, tid, move || {
+        let v = f();
+        *slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(v);
+    });
+    // Spawning is a visible event: the scheduler may immediately run the
+    // child instead of continuing here.
+    sched.point(me);
+    JoinHandle { tid, result }
+}
+
+/// A pure scheduling point: lets the model switch to another thread here.
+/// Required inside busy-wait loops — a spin that never yields never gets
+/// preempted and would hang the model.
+pub fn yield_now() {
+    let (sched, me) = sched::ctx();
+    sched.point(me);
+}
