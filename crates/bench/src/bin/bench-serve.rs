@@ -43,6 +43,9 @@ struct BenchDoc {
     p50_us: f64,
     p99_us: f64,
     snapshot_load_ms: f64,
+    /// The server's own view of the run: the `stats` verb's answer after
+    /// the load completes, carrying uptime and per-verb p50/p99.
+    server_stats: serve::StatsJson,
     server_report: obs::RunReport,
 }
 
@@ -159,7 +162,26 @@ fn main() -> ExitCode {
     })
     .expect("bench client panicked");
     let wall_ms = (clock.now_nanos() - bench_start) as f64 / 1e6;
+
+    // Ask the server itself how the run looked before shutting it down; the
+    // per-verb table doubles as a check that the whole verb mix arrived.
+    let server_stats = Client::connect(addr)
+        .and_then(|mut c| c.call(&Request::verb("stats")))
+        .ok()
+        .and_then(|r| r.stats);
     running.shutdown();
+    let Some(server_stats) = server_stats else {
+        eprintln!("bench-serve: final stats request failed");
+        return ExitCode::FAILURE;
+    };
+    if server_stats
+        .verbs
+        .as_ref()
+        .is_none_or(std::collections::BTreeMap::is_empty)
+    {
+        eprintln!("bench-serve: stats response carries no per-verb metrics");
+        return ExitCode::FAILURE;
+    }
 
     let mut lat = latencies.into_inner().unwrap();
     lat.sort_unstable();
@@ -178,6 +200,7 @@ fn main() -> ExitCode {
         p50_us: percentile_us(&lat, 0.50),
         p99_us: percentile_us(&lat, 0.99),
         snapshot_load_ms,
+        server_stats,
         server_report: rec.report(),
     };
 

@@ -1,0 +1,217 @@
+//! Offline inspection of run artifacts: `report diff` and `trace check`.
+//!
+//! `report diff A.json B.json` compares two [`obs::RunReport`]s: counter
+//! deltas, histogram changes, and phase wall-time ratios. The command exits
+//! nonzero when the *deterministic* slices diverge — two runs of the same
+//! corpus must agree there regardless of thread count or machine — while
+//! wall times and execution-dependent counters may differ freely and are
+//! reported for context only.
+//!
+//! `trace check FILE` validates a `--trace-out` artifact against the
+//! `bdrmapit.trace/v1` schema (see DESIGN.md §15) and prints its shape.
+
+use crate::CliError;
+use obs::RunReport;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn load(path: &Path) -> Result<RunReport, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Runtime(format!("reading {}: {e}", path.display())))?;
+    RunReport::from_json(&text)
+        .map_err(|e| CliError::Runtime(format!("parsing {}: {e}", path.display())))
+}
+
+fn diff_counters(
+    out: &mut String,
+    title: &str,
+    a: &std::collections::BTreeMap<String, u64>,
+    b: &std::collections::BTreeMap<String, u64>,
+) {
+    let keys: BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    let mut unchanged = 0usize;
+    let _ = writeln!(out, "{title}:");
+    for k in keys {
+        let (va, vb) = (
+            a.get(k).copied().unwrap_or(0),
+            b.get(k).copied().unwrap_or(0),
+        );
+        if va == vb {
+            unchanged += 1;
+        } else {
+            let delta = vb as i128 - va as i128;
+            let _ = writeln!(out, "  {k}: {va} -> {vb} ({delta:+})");
+        }
+    }
+    let _ = writeln!(out, "  ({unchanged} unchanged)");
+}
+
+/// Renders the comparison of two run reports; `Err` (with the same text)
+/// when their deterministic slices diverge, so scripts can gate on the exit
+/// code.
+pub fn report_diff(a_path: &Path, b_path: &Path) -> Result<String, CliError> {
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "report diff: {} vs {}",
+        a_path.display(),
+        b_path.display()
+    );
+    diff_counters(&mut out, "deterministic counters", &a.counters, &b.counters);
+    diff_counters(&mut out, "exec counters (informational)", &a.exec, &b.exec);
+
+    let hist_keys: BTreeSet<&String> = a.histograms.keys().chain(b.histograms.keys()).collect();
+    let changed: Vec<&String> = hist_keys
+        .into_iter()
+        .filter(|k| a.histograms.get(*k) != b.histograms.get(*k))
+        .collect();
+    if changed.is_empty() {
+        let _ = writeln!(out, "histograms: identical");
+    } else {
+        let _ = writeln!(out, "histograms changed:");
+        for k in &changed {
+            let show = |r: &RunReport| {
+                r.histograms
+                    .get(*k)
+                    .map_or("absent".to_string(), |h| format!("{} samples", h.count))
+            };
+            let _ = writeln!(out, "  {k}: {} -> {}", show(&a), show(&b));
+        }
+    }
+
+    let phase_keys: BTreeSet<&String> = a.phases.keys().chain(b.phases.keys()).collect();
+    let _ = writeln!(out, "phase wall times (informational):");
+    for k in phase_keys {
+        match (a.phases.get(k), b.phases.get(k)) {
+            (Some(pa), Some(pb)) if pa.wall_ms > 0.0 => {
+                let _ = writeln!(
+                    out,
+                    "  {k}: {:.3} ms -> {:.3} ms (x{:.2})",
+                    pa.wall_ms,
+                    pb.wall_ms,
+                    pb.wall_ms / pa.wall_ms
+                );
+            }
+            (pa, pb) => {
+                let ms = |p: Option<&obs::PhaseStats>| {
+                    p.map_or("absent".to_string(), |p| format!("{:.3} ms", p.wall_ms))
+                };
+                let _ = writeln!(out, "  {k}: {} -> {}", ms(pa), ms(pb));
+            }
+        }
+    }
+
+    if a.deterministic_view() != b.deterministic_view() {
+        let _ = writeln!(
+            out,
+            "DIVERGENCE: deterministic counters/histograms differ between the two runs"
+        );
+        return Err(CliError::Runtime(out));
+    }
+    let _ = writeln!(out, "deterministic metrics agree");
+    Ok(out)
+}
+
+/// Validates a `--trace-out` artifact and summarizes its shape.
+pub fn trace_check(path: &Path) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Runtime(format!("reading {}: {e}", path.display())))?;
+    let check = obs::trace::validate_chrome_json(&text)
+        .map_err(|e| CliError::Runtime(format!("{}: invalid trace: {e}", path.display())))?;
+    Ok(format!(
+        "{}: valid {} — {} events on {} tracks, {} dropped\n",
+        path.display(),
+        obs::trace::TRACE_SCHEMA,
+        check.events,
+        check.tracks,
+        check.dropped
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::names;
+    use obs::{MockClock, Recorder};
+
+    fn write_report(rec: &Recorder, tag: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "bdrmapit-diff-test-{}-{tag}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, rec.report().to_json()).unwrap();
+        path
+    }
+
+    fn recorder_with(iterations: u64, cache_hits: u64) -> Recorder {
+        let clock = MockClock::new();
+        let rec = Recorder::with_clock(false, Box::new(clock.clone()));
+        {
+            let _s = rec.span(names::PHASE_REFINE);
+            clock.advance(2_000_000);
+        }
+        rec.add(names::REFINE_ITERATIONS, iterations);
+        rec.add_exec(names::EXEC_CACHE_HITS, cache_hits);
+        rec
+    }
+
+    #[test]
+    fn agreeing_reports_diff_clean() {
+        let a = write_report(&recorder_with(3, 10), "clean-a");
+        let b = write_report(&recorder_with(3, 99), "clean-b");
+        let out = report_diff(&a, &b).unwrap();
+        assert!(out.contains("deterministic metrics agree"), "{out}");
+        // Exec divergence is reported but not fatal.
+        assert!(out.contains("asrel.cache_hits: 10 -> 99"), "{out}");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn deterministic_divergence_is_an_error_carrying_the_diff() {
+        let a = write_report(&recorder_with(3, 10), "div-a");
+        let b = write_report(&recorder_with(4, 10), "div-b");
+        let err = report_diff(&a, &b).unwrap_err();
+        let CliError::Runtime(text) = err else {
+            panic!("expected runtime error")
+        };
+        assert!(text.contains("DIVERGENCE"), "{text}");
+        assert!(text.contains("refine.iterations: 3 -> 4 (+1)"), "{text}");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn missing_and_malformed_inputs_are_runtime_errors() {
+        let missing = Path::new("/nonexistent/report.json");
+        assert!(matches!(
+            report_diff(missing, missing),
+            Err(CliError::Runtime(_))
+        ));
+        let bad =
+            std::env::temp_dir().join(format!("bdrmapit-diff-bad-{}.json", std::process::id()));
+        std::fs::write(&bad, "not json").unwrap();
+        assert!(matches!(report_diff(&bad, &bad), Err(CliError::Runtime(_))));
+        assert!(matches!(trace_check(&bad), Err(CliError::Runtime(_))));
+        let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn trace_check_accepts_a_real_export() {
+        let clock = MockClock::new();
+        let rec = Recorder::with_clock_tracing(false, Box::new(clock.clone()), 64);
+        {
+            let _s = rec.span(names::PHASE_GRAPH);
+            clock.advance(1_000_000);
+        }
+        let path =
+            std::env::temp_dir().join(format!("bdrmapit-trace-check-{}.json", std::process::id()));
+        std::fs::write(&path, rec.tracer().finish().to_chrome_json()).unwrap();
+        let out = trace_check(&path).unwrap();
+        assert!(out.contains("valid bdrmapit.trace/v1"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

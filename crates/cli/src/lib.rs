@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod diff;
 pub mod service;
 
 use eval::experiments::{aliases, heuristics, snapshots, stats, vps};
@@ -65,6 +66,9 @@ pub struct Cli {
     pub report: Option<PathBuf>,
     /// Print live phase enter/exit lines on stderr.
     pub trace: bool,
+    /// Write the Chrome trace-event document (`bdrmapit.trace/v1`, loadable
+    /// in Perfetto) here after the run.
+    pub trace_out: Option<PathBuf>,
 }
 
 /// Supported subcommands.
@@ -127,6 +131,19 @@ pub enum Command {
         verb: String,
         /// The verb's argument (address, router id, or AS number).
         arg: Option<String>,
+    },
+    /// Compare two run reports; exits nonzero when the deterministic
+    /// metrics diverge.
+    ReportDiff {
+        /// Baseline report.
+        a: PathBuf,
+        /// Candidate report.
+        b: PathBuf,
+    },
+    /// Validate a `--trace-out` artifact and print its shape.
+    TraceCheck {
+        /// Trace file to validate.
+        file: PathBuf,
     },
     /// Usage text.
     Help,
@@ -219,6 +236,12 @@ COMMANDS:
     query VERB [ARG] [--server HOST:PORT]
                 query a running server; verbs: lookup_addr IP, lookup_prefix IP,
                 router ID, links_of_as ASN, stats. A miss exits 1 (like grep)
+    report diff A.json B.json
+                compare two --report artifacts: counter deltas and phase
+                wall-time ratios; exits 1 when deterministic metrics diverge
+    trace check FILE
+                validate a --trace-out artifact (schema, timestamp order,
+                span pairing) and print its shape
     generate    print a summary of the generated synthetic Internet
     stats       campaign statistics (Table 3 link labels, §5 coverage)
     fig15       single in-network VP: bdrmapIT vs bdrmap
@@ -241,6 +264,10 @@ OPTIONS:
     --report F   write the JSON run report (phase wall times, counters,
                  histograms; schema bdrmapit.run-report/v1) to F
     --trace      print live phase enter/exit lines on stderr
+    --trace-out F
+                 record per-worker trace events during the run and write a
+                 Chrome trace-event document (schema bdrmapit.trace/v1,
+                 loadable in Perfetto / chrome://tracing) to F
 
 EXIT CODES:
     0  success        1  runtime failure        2  usage error
@@ -258,6 +285,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     let mut threads = 0usize;
     let mut report: Option<PathBuf> = None;
     let mut trace = false;
+    let mut trace_out: Option<PathBuf> = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -305,6 +333,46 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                     workers: 4,
                     timeout_secs: 30,
                 });
+            }
+            "report" => {
+                if command.is_some() {
+                    return Err(ParseError("duplicate command".into()));
+                }
+                match it.next().map(String::as_str) {
+                    Some("diff") => {
+                        let mut file = || {
+                            it.next()
+                                .filter(|v| !v.starts_with("--"))
+                                .map(PathBuf::from)
+                                .ok_or_else(|| {
+                                    ParseError("report diff requires two report files".into())
+                                })
+                        };
+                        let (a, b) = (file()?, file()?);
+                        command = Some(Command::ReportDiff { a, b });
+                    }
+                    other => {
+                        return Err(ParseError(format!("report requires diff, got {other:?}")))
+                    }
+                }
+            }
+            "trace" => {
+                if command.is_some() {
+                    return Err(ParseError("duplicate command".into()));
+                }
+                match it.next().map(String::as_str) {
+                    Some("check") => {
+                        let file = it
+                            .next()
+                            .filter(|v| !v.starts_with("--"))
+                            .map(PathBuf::from)
+                            .ok_or_else(|| ParseError("trace check requires FILE".into()))?;
+                        command = Some(Command::TraceCheck { file });
+                    }
+                    other => {
+                        return Err(ParseError(format!("trace requires check, got {other:?}")))
+                    }
+                }
             }
             "query" => {
                 if command.is_some() {
@@ -475,6 +543,12 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 report = Some(PathBuf::from(v));
             }
             "--trace" => trace = true,
+            "--trace-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--trace-out needs a value".into()))?;
+                trace_out = Some(PathBuf::from(v));
+            }
             other => return Err(ParseError(format!("unknown argument {other:?}"))),
         }
     }
@@ -514,6 +588,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         threads,
         report,
         trace,
+        trace_out,
     })
 }
 
@@ -521,7 +596,9 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
 /// failures (I/O, invalid bundles, failed run-report validation) come back
 /// as [`CliError::Runtime`]; `main` maps them to [`EXIT_RUNTIME`].
 pub fn run(cli: &Cli) -> Result<String, CliError> {
-    let rec = if cli.trace || cli.report.is_some() {
+    let rec = if cli.trace_out.is_some() {
+        obs::Recorder::with_tracing(cli.trace, obs::trace::DEFAULT_TRACK_CAPACITY)
+    } else if cli.trace || cli.report.is_some() {
         obs::Recorder::new(cli.trace)
     } else {
         obs::Recorder::disabled()
@@ -535,6 +612,16 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             report.validate().map_err(CliError::Runtime)?;
         }
         std::fs::write(path, report.to_json())
+            .map_err(|e| CliError::Runtime(format!("writing {}: {e}", path.display())))?;
+    }
+    if let Some(path) = &cli.trace_out {
+        let json = rec.tracer().finish().to_chrome_json();
+        // The exporter sanitizes ring-wrap artifacts, so a failure here is
+        // a bug, not bad input — surface it rather than writing a file the
+        // `trace check` command would then reject.
+        obs::trace::validate_chrome_json(&json)
+            .map_err(|e| CliError::Runtime(format!("internal: trace export invalid: {e}")))?;
+        std::fs::write(path, json)
             .map_err(|e| CliError::Runtime(format!("writing {}: {e}", path.display())))?;
     }
     Ok(out)
@@ -572,6 +659,8 @@ fn run_with_obs(cli: &Cli, rec: &obs::Recorder) -> Result<String, CliError> {
         Command::Query { server, verb, arg } => {
             return service::query_cmd(server, verb, arg.as_deref());
         }
+        Command::ReportDiff { a, b } => return diff::report_diff(a, b),
+        Command::TraceCheck { file } => return diff::trace_check(file),
         _ => {}
     }
     let mut s = Scenario::build_with_obs(cli.scale.config(cli.seed), rec.clone());
@@ -690,7 +779,9 @@ fn run_with_obs(cli: &Cli, rec: &obs::Recorder) -> Result<String, CliError> {
         | Command::SnapshotWrite { .. }
         | Command::SnapshotInspect { .. }
         | Command::Serve { .. }
-        | Command::Query { .. } => {
+        | Command::Query { .. }
+        | Command::ReportDiff { .. }
+        | Command::TraceCheck { .. } => {
             unreachable!("handled above")
         }
     }
@@ -911,6 +1002,104 @@ mod tests {
         assert!(parse(&args(&["query"])).is_err(), "verb is required");
         assert!(parse(&args(&["query", "--server", "x"])).is_err());
         assert!(parse(&args(&["stats", "--server", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_report_diff_and_trace_check() {
+        let cli = parse(&args(&["report", "diff", "a.json", "b.json"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::ReportDiff {
+                a: PathBuf::from("a.json"),
+                b: PathBuf::from("b.json"),
+            }
+        );
+        let cli = parse(&args(&["trace", "check", "t.json"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::TraceCheck {
+                file: PathBuf::from("t.json")
+            }
+        );
+        assert!(parse(&args(&["report"])).is_err());
+        assert!(parse(&args(&["report", "diff"])).is_err());
+        assert!(parse(&args(&["report", "diff", "a.json"])).is_err());
+        assert!(parse(&args(&["report", "burn"])).is_err());
+        assert!(parse(&args(&["trace"])).is_err());
+        assert!(parse(&args(&["trace", "check"])).is_err());
+        assert!(parse(&args(&["trace", "erase"])).is_err());
+    }
+
+    #[test]
+    fn parse_trace_out() {
+        let cli = parse(&args(&["pipeline", "--trace-out", "t.json"])).unwrap();
+        assert_eq!(cli.trace_out, Some(PathBuf::from("t.json")));
+        assert!(!cli.trace, "--trace-out does not imply --trace");
+        assert!(parse(&args(&["pipeline", "--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn pipeline_tiny_writes_valid_trace() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join(format!("bdrmapit-test-trace-{}.json", std::process::id()));
+        let cli = parse(&args(&[
+            "pipeline",
+            "--scale",
+            "tiny",
+            "--vps",
+            "4",
+            "--threads",
+            "2",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&cli).unwrap();
+        // The CLI already validated before writing; `trace check` agrees.
+        let check_cli = parse(&args(&["trace", "check", trace_path.to_str().unwrap()])).unwrap();
+        let out = run(&check_cli).unwrap();
+        assert!(out.contains("valid bdrmapit.trace/v1"), "{out}");
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        for needle in ["pool.task", "pool.batch", "refine.shard", "phase3.refine"] {
+            assert!(text.contains(needle), "trace lacks {needle}");
+        }
+        let _ = std::fs::remove_file(&trace_path);
+    }
+
+    #[test]
+    fn report_diff_gates_on_determinism_end_to_end() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let a = dir.join(format!("bdrmapit-test-diff-a-{pid}.json"));
+        let b = dir.join(format!("bdrmapit-test-diff-b-{pid}.json"));
+        for (path, threads) in [(&a, "1"), (&b, "2")] {
+            let cli = parse(&args(&[
+                "pipeline",
+                "--scale",
+                "tiny",
+                "--vps",
+                "4",
+                "--threads",
+                threads,
+                "--report",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            run(&cli).unwrap();
+        }
+        // Same corpus at different thread counts: deterministic slices
+        // agree, so the diff is clean (exec counters may differ freely).
+        let cli = parse(&args(&[
+            "report",
+            "diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("deterministic metrics agree"), "{out}");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
     }
 
     #[test]

@@ -208,6 +208,7 @@ impl IrGraph {
         // ---- pass 0: intern every address observed as a responding hop.
         // Shard-local sort+dedup keeps the merge small; the interner re-sorts
         // the union, so ids depend only on the observed address *set*.
+        let span = rec.span(obs::names::PHASE1_INTERN);
         let trace_batch = wp.batch_size(traces.len());
         let addr_shards = wp.run(
             obs::names::EXEC_POOL_BUSY_GRAPH,
@@ -226,9 +227,11 @@ impl IrGraph {
         g.interner = AddrInterner::from_addrs(addr_shards.into_iter().flatten());
         g.iface_addrs = g.interner.addrs().to_vec();
         let n_ifaces = g.iface_addrs.len();
+        drop(span);
 
         // Origin resolution per interface: independent longest-prefix
         // lookups, sharded over the id space and rejoined in id order.
+        let span = rec.span(obs::names::PHASE1_ORIGINS);
         let iface_addrs = &g.iface_addrs;
         let iface_batch = wp.batch_size(n_ifaces);
         let origin_shards = wp.run(
@@ -246,9 +249,11 @@ impl IrGraph {
         g.iface_dests = vec![BTreeSet::new(); n_ifaces];
         g.preds = vec![BTreeMap::new(); n_ifaces];
         g.iface_ir = vec![IrId(u32::MAX); n_ifaces];
+        drop(span);
 
         // ---- IRs from alias groups over observed addresses (serial: IR
         // numbering is an ordering decision, and the work is linear).
+        let span = rec.span(obs::names::PHASE1_IRS);
         let mut ir_members: Vec<Vec<IfIdx>> = Vec::new();
         let mut grouped = vec![false; n_ifaces];
         for group in aliases.interned_groups(&g.interner) {
@@ -279,8 +284,11 @@ impl IrGraph {
             });
         }
 
+        drop(span);
+
         // ---- pass 1: extract link/destination observations per trace
         // shard, entirely in interned-id space.
+        let span = rec.span(obs::names::PHASE1_LINKS);
         let graph = &g;
         let obs_shards = wp.run(
             obs::names::EXEC_POOL_BUSY_GRAPH,
@@ -345,9 +353,12 @@ impl IrGraph {
             },
         );
 
+        drop(span);
+
         // ---- reduction: concatenate shard outputs, restore the total
         // order, and fold — equal inputs in any shard distribution sort to
         // the same sequence, so the result is shard-count-invariant.
+        let span = rec.span(obs::names::PHASE1_REDUCE);
         let mut link_obs: Vec<LinkObs> = Vec::new();
         let mut dest_obs: Vec<(u32, Asn)> = Vec::new();
         for (l, d) in obs_shards {
@@ -393,11 +404,14 @@ impl IrGraph {
             });
         }
 
+        drop(span);
+
         // ---- per-IR metadata: origin-AS unions and §4.4-filtered
         // destination sets, chunked over the IR space. Each task owns a
         // private relationship cache; hit/miss tallies are
         // execution-dependent (the split varies with the thread count), so
         // they merge into the exec class in task order.
+        let span = rec.span(obs::names::PHASE1_METADATA);
         let n_irs = g.irs.len();
         let graph = &g;
         let ir_batch = wp.batch_size(n_irs);
@@ -439,9 +453,12 @@ impl IrGraph {
             ir.origins = origins;
             ir.dests = dests;
         }
+        drop(span);
 
         // ---- refinement shard plan (link-connected components, §6.3) ----
+        let span = rec.span(obs::names::PHASE1_SHARD_PLAN);
         g.shards = ShardPlan::compute(&g.irs, &g.iface_ir);
+        drop(span);
 
         g
     }

@@ -109,22 +109,27 @@ pub fn refine_in_pool(
     let plan = &graph.shards;
     let cells = SweepCells::new(state);
     let threads = effective_threads(wp.workers(), plan);
+    let tracer = rec.tracer();
     let (iterations, traces, mut sheet) = if threads <= 1 {
         let mut ctx = SweepCtx::new(graph, cfg, rels, cones);
+        ctx.tracer = tracer.worker(names::TRACK_REFINE_WORKER, 0);
         let mut iterations = 0;
         let mut traces = Vec::with_capacity(plan.shards.len());
-        for shard in &plan.shards {
+        for (idx, shard) in plan.shards.iter().enumerate() {
+            ctx.tracer.begin(names::EV_REFINE_SHARD, idx as u64);
             let run =
                 parallel::converge_shard(shard, &cells, &mut ctx, cfg.max_iterations, 0, 1, None);
+            ctx.tracer.end(names::EV_REFINE_SHARD);
             iterations = iterations.max(run.iterations);
             ctx.sheet
                 .record(names::HIST_SHARD_ITERATIONS, run.iterations as u64);
             traces.push(run.trace);
         }
         ctx.flush_cache_stats();
+        tracer.submit(ctx.tracer);
         (iterations, traces, ctx.sheet)
     } else {
-        parallel::refine_parallel(graph, plan, &cells, rels, cones, cfg, threads, wp)
+        parallel::refine_parallel(graph, plan, &cells, rels, cones, cfg, threads, wp, &tracer)
     };
     cells.write_back(state);
     state.iterations = iterations;

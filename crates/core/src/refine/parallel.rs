@@ -83,6 +83,9 @@ pub(crate) struct SweepCtx<'a> {
     pub cfg: &'a Config,
     pub cache: RelQueryCache<'a>,
     pub sheet: obs::MetricSheet,
+    /// Per-worker event track (disabled by default; the engine installs a
+    /// live one when the recorder traces). Write-only, like the sheet.
+    pub tracer: obs::WorkerTracer,
 }
 
 impl<'a> SweepCtx<'a> {
@@ -97,6 +100,7 @@ impl<'a> SweepCtx<'a> {
             cfg,
             cache: RelQueryCache::new(rels, cones),
             sheet: obs::MetricSheet::new(),
+            tracer: obs::WorkerTracer::default(),
         }
     }
 
@@ -226,6 +230,7 @@ pub(crate) fn converge_shard(
     let mut trace = vec![h0];
     let mut iterations = 0;
     for i in 0..max_iterations {
+        ctx.tracer.begin(obs::names::EV_REFINE_WAVE, i as u64);
         // Snapshot this shard's mid-path annotations (only those can have
         // changed) so higher-index reads see pre-sweep values.
         for &ir in chunk(&shard.mid_path, worker, workers) {
@@ -272,6 +277,7 @@ pub(crate) fn converge_shard(
         // Everyone must finish reading the state for the hash before the
         // next iteration starts overwriting it.
         sync(barrier);
+        ctx.tracer.end(obs::names::EV_REFINE_WAVE);
         if repeated {
             break;
         }
@@ -297,6 +303,7 @@ pub(crate) fn refine_parallel(
     cfg: &Config,
     threads: usize,
     wp: &pool::WorkerPool,
+    tracer: &obs::Tracer,
 ) -> (usize, Vec<Vec<u64>>, obs::MetricSheet) {
     // A shard tagged with its index in `plan.shards`, which survives the
     // big/small partition so traces land in plan order.
@@ -318,11 +325,18 @@ pub(crate) fn refine_parallel(
     let sheets: Vec<Mutex<obs::MetricSheet>> = (0..threads)
         .map(|_| Mutex::new(obs::MetricSheet::new()))
         .collect();
+    // One event-track slot per worker, parked when the worker finishes and
+    // submitted below in worker-index order so the merged trace document has
+    // a deterministic track structure.
+    let tracer_slots: Vec<Mutex<Option<obs::WorkerTracer>>> =
+        (0..threads).map(|_| Mutex::new(None)).collect();
     let worker = |w: usize| {
         let mut ctx = SweepCtx::new(graph, cfg, rels, cones);
+        ctx.tracer = tracer.worker(obs::names::TRACK_REFINE_WORKER, w);
         let mut local = 0usize;
         // Big shards: every worker, lockstep.
         for &(idx, shard) in &big {
+            ctx.tracer.begin(obs::names::EV_REFINE_SHARD, idx as u64);
             let run = converge_shard(
                 shard,
                 cells,
@@ -332,6 +346,7 @@ pub(crate) fn refine_parallel(
                 threads,
                 Some(&barrier),
             );
+            ctx.tracer.end(obs::names::EV_REFINE_SHARD);
             local = local.max(run.iterations);
             if w == 0 {
                 // Every lockstep participant computes the identical run;
@@ -345,7 +360,9 @@ pub(crate) fn refine_parallel(
         // Small shards: dealt round-robin, each converged solo.
         for (k, &(idx, shard)) in small.iter().enumerate() {
             if k % threads == w {
+                ctx.tracer.begin(obs::names::EV_REFINE_SHARD, idx as u64);
                 let run = converge_shard(shard, cells, &mut ctx, cfg.max_iterations, 0, 1, None);
+                ctx.tracer.end(obs::names::EV_REFINE_SHARD);
                 local = local.max(run.iterations);
                 ctx.sheet
                     .record(obs::names::HIST_SHARD_ITERATIONS, run.iterations as u64);
@@ -354,9 +371,15 @@ pub(crate) fn refine_parallel(
         }
         ctx.flush_cache_stats();
         *sheets[w].lock().unwrap() = ctx.sheet;
+        *tracer_slots[w].lock().unwrap() = Some(ctx.tracer);
         max_iterations.fetch_max(local, Ordering::SeqCst);
     };
     wp.broadcast(obs::names::EXEC_POOL_BUSY_REFINE, threads, worker);
+    for slot in tracer_slots {
+        if let Some(wt) = slot.into_inner().unwrap() {
+            tracer.submit(wt);
+        }
+    }
     let traces = traces
         .into_iter()
         .map(|m| m.into_inner().unwrap())

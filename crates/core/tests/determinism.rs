@@ -79,20 +79,26 @@ proptest! {
     /// nor, with telemetry enabled, a single deterministic counter or
     /// histogram. Thread counts 2 and 8 exercise both parallel regimes
     /// (fewer and more workers than most corpora have shards/level slots)
-    /// against serial.
+    /// against serial; each count also runs with event tracing enabled,
+    /// which must be just as write-only as the metric sheets.
     #[test]
     fn thread_count_never_changes_results(traces in corpus_strategy()) {
-        let run = |threads: usize| {
+        let run = |threads: usize, tracing: bool| {
             let cfg = Config { threads, ..Config::default() };
-            let rec = obs::Recorder::new(false);
+            let rec = if tracing {
+                // A small ring so large corpora also exercise wraparound.
+                obs::Recorder::with_tracing(false, 4096)
+            } else {
+                obs::Recorder::new(false)
+            };
             let annotated = Bdrmapit::new(cfg)
                 .with_obs(rec.clone())
                 .run(&traces, &AliasSets::empty(), &oracle(), &rels());
             (annotated, rec.report())
         };
-        let (serial, serial_report) = run(1);
-        for threads in [2usize, 8] {
-            let (parallel, parallel_report) = run(threads);
+        let (serial, serial_report) = run(1, false);
+        for (threads, tracing) in [(1usize, true), (2, false), (2, true), (8, false), (8, true)] {
+            let (parallel, parallel_report) = run(threads, tracing);
             // Telemetry determinism: the counter/histogram slice of the run
             // report is thread-count-invariant (wall times and exec metrics
             // are excluded by deterministic_view, per DESIGN.md §10).

@@ -21,7 +21,12 @@
 //!   and are excluded from report equality (see
 //!   [`RunReport::deterministic_view`]).
 //!
-//! See DESIGN.md §10 for the span taxonomy and counter naming scheme.
+//! The same contract covers the event-tracing layer ([`trace`]): per-worker
+//! ring buffers of typed timestamped events, merged in deterministic worker
+//! order and exported as a Chrome trace-event document (`--trace-out`).
+//!
+//! See DESIGN.md §10 for the span taxonomy and counter naming scheme, and
+//! §15 for the event taxonomy and trace schema.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,8 +36,10 @@ pub mod metrics;
 pub mod names;
 mod recorder;
 pub mod report;
+pub mod trace;
 
 pub use clock::{Clock, MockClock, MonotonicClock};
 pub use metrics::{Histogram, MetricSheet};
 pub use recorder::{Recorder, Span};
 pub use report::{DeterministicMetrics, HistogramSummary, PhaseStats, RunReport};
+pub use trace::{TraceBuffer, TraceEvent, Tracer, WorkerTracer};

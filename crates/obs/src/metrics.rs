@@ -21,16 +21,39 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    /// Records one sample.
+    /// Records one sample. Per-value counts saturate at `u64::MAX` rather
+    /// than wrapping.
     pub fn record(&mut self, value: u64) {
-        *self.values.entry(value).or_insert(0) += 1;
+        let slot = self.values.entry(value).or_insert(0);
+        *slot = slot.saturating_add(1);
     }
 
-    /// Folds another histogram into this one.
+    /// Folds another histogram into this one. Counts saturate at
+    /// `u64::MAX`.
     pub fn merge(&mut self, other: &Histogram) {
         for (&v, &n) in &other.values {
-            *self.values.entry(v).or_insert(0) += n;
+            let slot = self.values.entry(v).or_insert(0);
+            *slot = slot.saturating_add(n);
         }
+    }
+
+    /// The value at quantile `p` (0.0 ≤ p ≤ 1.0) by nearest-rank over the
+    /// exact counts, or `None` when empty. `percentile(0.5)` is the median,
+    /// `percentile(0.99)` the p99.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((total - 1) as f64 * p.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (&v, &n) in &self.values {
+            seen = seen.saturating_add(n);
+            if seen > rank {
+                return Some(v);
+            }
+        }
+        self.max()
     }
 
     /// Total samples.
@@ -141,6 +164,56 @@ mod tests {
         let empty = Histogram::default();
         assert_eq!(empty.min(), None);
         assert_eq!(empty.count(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_overlapping_values_adds_counts() {
+        let mut a = Histogram::default();
+        for v in [1u64, 2, 2, 3] {
+            a.record(v);
+        }
+        let mut b = Histogram::default();
+        for v in [2u64, 3, 3, 4] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 8);
+        assert_eq!(a.values().get(&2), Some(&3));
+        assert_eq!(a.values().get(&3), Some(&3));
+        assert_eq!((a.min(), a.max()), (Some(1), Some(4)));
+        assert_eq!(a.sum(), 1 + 2 * 3 + 3 * 3 + 4);
+    }
+
+    #[test]
+    fn histogram_merge_disjoint_values_is_a_union() {
+        let mut low = Histogram::default();
+        low.record(1);
+        low.record(2);
+        let mut high = Histogram::default();
+        high.record(10);
+        high.record(20);
+        low.merge(&high);
+        assert_eq!(low.count(), 4);
+        assert_eq!(low.values().len(), 4);
+        assert!(low.values().values().all(|&n| n == 1));
+        // Merging an empty histogram is the identity.
+        let before = low.clone();
+        low.merge(&Histogram::default());
+        assert_eq!(low, before);
+    }
+
+    #[test]
+    fn histogram_merge_saturates_instead_of_wrapping() {
+        let mut a = Histogram::default();
+        a.record(7);
+        let mut near_max = Histogram::default();
+        near_max.values.insert(7, u64::MAX - 1);
+        a.merge(&near_max);
+        assert_eq!(a.values().get(&7), Some(&u64::MAX));
+        a.merge(&near_max);
+        assert_eq!(a.values().get(&7), Some(&u64::MAX), "count stays pinned");
+        a.record(7);
+        assert_eq!(a.values().get(&7), Some(&u64::MAX), "record saturates too");
     }
 
     #[test]

@@ -137,3 +137,95 @@ pub const EXEC_SERVE_CONNECTIONS: &str = "serve.connections";
 pub const EXEC_SERVE_REQUESTS: &str = "serve.requests";
 /// Malformed requests, read timeouts, and socket errors at the server.
 pub const EXEC_SERVE_ERRORS: &str = "serve.errors";
+
+// ---- phase-1 sub-spans -------------------------------------------------------
+// Passes of the graph build, visible as nested spans under `phase1.graph`
+// in the run report and on the trace's `main` track.
+
+/// Pass 0: address interning over trace shards.
+pub const PHASE1_INTERN: &str = "phase1.intern";
+/// Origin-AS resolution over the interned interface space.
+pub const PHASE1_ORIGINS: &str = "phase1.origins";
+/// Serial IR construction from alias groups.
+pub const PHASE1_IRS: &str = "phase1.irs";
+/// Pass 1: link and destination extraction over trace shards.
+pub const PHASE1_LINKS: &str = "phase1.links";
+/// Serial reduction of per-shard link/destination observations.
+pub const PHASE1_REDUCE: &str = "phase1.reduce";
+/// Per-IR metadata annotation (degree, relationships, cone membership).
+pub const PHASE1_METADATA: &str = "phase1.metadata";
+/// Shard-plan computation over the finished graph.
+pub const PHASE1_SHARD_PLAN: &str = "phase1.shard_plan";
+
+// ---- trace tracks and events -------------------------------------------------
+// Names used by `obs::trace`: tracks become Chrome `thread_name`s, events
+// appear as spans (`B`/`E`) or instants (`i`) on a track. See DESIGN.md §15.
+
+/// The coordinator track carrying recorder phase spans.
+pub const TRACK_MAIN: &str = "main";
+/// Per-worker pool tracks (`pool.worker0`, `pool.worker1`, ...).
+pub const TRACK_POOL_WORKER: &str = "pool.worker";
+/// The pool's batch-level track (dispatch and reassembly spans).
+pub const TRACK_POOL_BATCHES: &str = "pool.batches";
+/// Per-worker refinement tracks (`refine.worker0`, ...).
+pub const TRACK_REFINE_WORKER: &str = "refine.worker";
+/// Per-worker serve tracks (`serve.worker0`, ...).
+pub const TRACK_SERVE_WORKER: &str = "serve.worker";
+/// Span: one pool batch from deal-out to join (arg: task count).
+pub const EV_POOL_BATCH: &str = "pool.batch";
+/// Span: one task executing on a pool worker (arg: task index).
+pub const EV_POOL_TASK: &str = "pool.task";
+/// Instant: a worker stole from a sibling's interval (arg: tasks taken).
+pub const EV_POOL_STEAL: &str = "pool.steal";
+/// Span: index-ordered reassembly of batch results on the coordinator.
+pub const EV_POOL_REASSEMBLE: &str = "pool.reassemble";
+/// Span: one shard converging on a refinement worker (arg: shard index).
+pub const EV_REFINE_SHARD: &str = "refine.shard";
+/// Span: one lockstep refinement wave/iteration (arg: iteration index).
+pub const EV_REFINE_WAVE: &str = "refine.wave";
+/// Instant: probe campaign destination count (arg: destinations).
+pub const EV_CAMPAIGN_DESTS: &str = "traceroute.dests";
+/// Span: one request handled by a serve worker.
+pub const EV_SERVE_REQUEST: &str = "serve.request";
+
+// ---- serve per-verb metrics ---------------------------------------------------
+// Execution-dependent by construction (traffic-driven); the latency
+// histograms live in the server's own `ServeMetrics`, surfaced through the
+// `stats` verb, while the request counters also feed the recorder.
+
+/// Requests dispatched to the `lookup_addr` verb.
+pub const EXEC_SERVE_REQ_LOOKUP_ADDR: &str = "serve.requests.lookup_addr";
+/// Requests dispatched to the `lookup_prefix` verb.
+pub const EXEC_SERVE_REQ_LOOKUP_PREFIX: &str = "serve.requests.lookup_prefix";
+/// Requests dispatched to the `router` verb.
+pub const EXEC_SERVE_REQ_ROUTER: &str = "serve.requests.router";
+/// Requests dispatched to the `links_of_as` verb.
+pub const EXEC_SERVE_REQ_LINKS_OF_AS: &str = "serve.requests.links_of_as";
+/// Requests dispatched to the `stats` verb.
+pub const EXEC_SERVE_REQ_STATS: &str = "serve.requests.stats";
+
+/// The verbs the query server dispatches, in protocol order.
+pub const SERVE_VERBS: &[&str] = &[
+    "lookup_addr",
+    "lookup_prefix",
+    "router",
+    "links_of_as",
+    "stats",
+];
+
+/// Canonicalizes a request verb to its `'static` form, if known.
+pub fn serve_verb(verb: &str) -> Option<&'static str> {
+    SERVE_VERBS.iter().find(|&&v| v == verb).copied()
+}
+
+/// The request counter for a known verb, if any.
+pub fn serve_request_counter(verb: &str) -> Option<&'static str> {
+    match verb {
+        "lookup_addr" => Some(EXEC_SERVE_REQ_LOOKUP_ADDR),
+        "lookup_prefix" => Some(EXEC_SERVE_REQ_LOOKUP_PREFIX),
+        "router" => Some(EXEC_SERVE_REQ_ROUTER),
+        "links_of_as" => Some(EXEC_SERVE_REQ_LINKS_OF_AS),
+        "stats" => Some(EXEC_SERVE_REQ_STATS),
+        _ => None,
+    }
+}

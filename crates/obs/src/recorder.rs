@@ -3,6 +3,7 @@
 use crate::clock::{Clock, MonotonicClock};
 use crate::metrics::MetricSheet;
 use crate::report::RunReport;
+use crate::trace::Tracer;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -22,8 +23,9 @@ struct State {
 
 #[derive(Debug)]
 struct Inner {
-    clock: Box<dyn Clock>,
+    clock: Arc<dyn Clock>,
     trace: bool,
+    tracer: Tracer,
     state: Mutex<State>,
 }
 
@@ -56,10 +58,36 @@ impl Recorder {
     /// An enabled recorder on an explicit clock (tests use [`MockClock`]
     /// (crate::MockClock) for deterministic span durations).
     pub fn with_clock(trace: bool, clock: Box<dyn Clock>) -> Recorder {
+        Recorder::assemble(trace, Arc::from(clock), None)
+    }
+
+    /// An enabled recorder that also collects trace events (per-track ring
+    /// capacity `track_capacity`), on the real monotonic clock. The tracer
+    /// shares the recorder's clock, so span wall times and trace timestamps
+    /// agree.
+    pub fn with_tracing(trace: bool, track_capacity: usize) -> Recorder {
+        Recorder::assemble(trace, Arc::new(MonotonicClock::new()), Some(track_capacity))
+    }
+
+    /// [`Recorder::with_tracing`] on an explicit clock, for tests.
+    pub fn with_clock_tracing(
+        trace: bool,
+        clock: Box<dyn Clock>,
+        track_capacity: usize,
+    ) -> Recorder {
+        Recorder::assemble(trace, Arc::from(clock), Some(track_capacity))
+    }
+
+    fn assemble(trace: bool, clock: Arc<dyn Clock>, tracing: Option<usize>) -> Recorder {
+        let tracer = match tracing {
+            Some(capacity) => Tracer::new(clock.clone(), capacity),
+            None => Tracer::disabled(),
+        };
         Recorder {
             inner: Some(Arc::new(Inner {
                 clock,
                 trace,
+                tracer,
                 state: Mutex::new(State::default()),
             })),
         }
@@ -68,6 +96,17 @@ impl Recorder {
     /// True when this recorder accumulates anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The trace sink this recorder was built with (disabled unless
+    /// constructed via [`Recorder::with_tracing`] /
+    /// [`Recorder::with_clock_tracing`]). Cheap to clone and hand to
+    /// subsystems that record per-worker events.
+    pub fn tracer(&self) -> Tracer {
+        self.inner
+            .as_ref()
+            .map(|i| i.tracer.clone())
+            .unwrap_or_default()
     }
 
     /// Enters a phase span; the span records its wall time when dropped.
@@ -81,6 +120,7 @@ impl Recorder {
             };
         };
         let start_nanos = inner.clock.now_nanos();
+        inner.tracer.begin_main(name, 0);
         if inner.trace {
             let depth = {
                 let mut st = inner.state.lock().expect("obs state lock");
@@ -162,6 +202,7 @@ impl Recorder {
 
     fn finish_span(&self, name: &'static str, start_nanos: u64) {
         let Some(inner) = &self.inner else { return };
+        inner.tracer.end_main(name);
         let elapsed = inner.clock.now_nanos().saturating_sub(start_nanos);
         let mut st = inner.state.lock().expect("obs state lock");
         let agg = st.phases.entry(name).or_default();

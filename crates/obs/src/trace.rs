@@ -1,0 +1,780 @@
+//! Event tracing: fixed-capacity per-worker ring buffers merged into a
+//! Chrome trace-event document.
+//!
+//! The layer follows the same contract as the rest of `obs`:
+//!
+//! * **write-only** — nothing in the pipeline ever reads a tracer;
+//! * **no-op when disabled** — a disabled [`Tracer`] hands out disabled
+//!   [`WorkerTracer`]s whose every call is a branch and a return, with no
+//!   allocation and no clock read;
+//! * **single clock** — every timestamp comes from the [`Clock`] the owning
+//!   recorder was built with, so all tracks share one epoch and the only
+//!   wall-clock read in the workspace stays inside
+//!   [`MonotonicClock`](crate::MonotonicClock);
+//! * **bounded memory** — each track is a ring of at most `capacity` events;
+//!   when a ring wraps, the oldest events are dropped and the drop count is
+//!   carried into the exported document's header.
+//!
+//! Workers record into a private [`WorkerTracer`] (one per worker, `&mut`
+//! access, no interior mutability) and the owning scope submits the buffer
+//! back to the shared [`Tracer`] after the batch joins. At export time the
+//! tracks are sorted by name (digit-suffix aware, so `worker2` precedes
+//! `worker10`), which makes the merged document deterministic in *structure*
+//! regardless of submission timing; only the wall-clock timestamps vary from
+//! run to run.
+
+use crate::clock::Clock;
+use crate::names;
+use serde::json::{parse, write_json, Value};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Schema marker embedded in the exported document (top-level `"schema"`
+/// key; Chrome/Perfetto ignore unknown top-level keys).
+pub const TRACE_SCHEMA: &str = "bdrmapit.trace/v1";
+
+/// Default per-track ring capacity (events). At 32 bytes an event, a full
+/// track costs 2 MiB; a tiny pipeline run stays well under one ring.
+pub const DEFAULT_TRACK_CAPACITY: usize = 65_536;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opens (Chrome phase `"B"`).
+    Begin,
+    /// The innermost open span closes (Chrome phase `"E"`).
+    End,
+    /// A point event (Chrome phase `"i"`, thread-scoped).
+    Instant,
+}
+
+/// One typed, timestamped event. `Copy` and allocation-free: names are
+/// `&'static str` from [`names`], and the single `arg` slot carries the
+/// event's payload (task index, batch size, stolen count, ...).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (a constant from [`names`]).
+    pub name: &'static str,
+    /// Begin / End / Instant.
+    pub kind: EventKind,
+    /// Timestamp in nanoseconds on the owning tracer's clock.
+    pub t_nanos: u64,
+    /// Event payload (meaning depends on `name`).
+    pub arg: u64,
+}
+
+/// A fixed-capacity event ring. Pushing past capacity overwrites the oldest
+/// event and counts the drop; the buffer never reallocates after filling.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// An empty ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> TraceBuffer {
+        let cap = capacity.max(1);
+        TraceBuffer {
+            events: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, dropping the oldest when full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// How many events have been overwritten.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events oldest→newest.
+    pub fn iter_in_order(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (newer, older) = self.events.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+
+    /// Folds `other`'s events (and drop count) into this ring.
+    pub fn absorb(&mut self, other: &TraceBuffer) {
+        self.dropped += other.dropped;
+        for ev in other.iter_in_order() {
+            self.push(*ev);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct WorkerTracerInner {
+    clock: Arc<dyn Clock>,
+    track: String,
+    buf: TraceBuffer,
+}
+
+/// A single worker's private event recorder: owned (`&mut` push, no locks,
+/// no interior mutability), so it is safe inside pool worker closures. The
+/// disabled form records nothing and reads no clock.
+#[derive(Debug, Default)]
+pub struct WorkerTracer {
+    inner: Option<WorkerTracerInner>,
+}
+
+impl WorkerTracer {
+    /// The no-op worker tracer.
+    pub fn disabled() -> WorkerTracer {
+        WorkerTracer::default()
+    }
+
+    /// True when events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span on this worker's track.
+    pub fn begin(&mut self, name: &'static str, arg: u64) {
+        self.push(EventKind::Begin, name, arg);
+    }
+
+    /// Closes the innermost open span (`name` must match its begin).
+    pub fn end(&mut self, name: &'static str) {
+        self.push(EventKind::End, name, 0);
+    }
+
+    /// Records a point event.
+    pub fn instant(&mut self, name: &'static str, arg: u64) {
+        self.push(EventKind::Instant, name, arg);
+    }
+
+    fn push(&mut self, kind: EventKind, name: &'static str, arg: u64) {
+        if let Some(inner) = &mut self.inner {
+            let t_nanos = inner.clock.now_nanos();
+            inner.buf.push(TraceEvent {
+                name,
+                kind,
+                t_nanos,
+                arg,
+            });
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TrackState {
+    name: String,
+    buf: TraceBuffer,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    clock: Arc<dyn Clock>,
+    capacity: usize,
+    tracks: Mutex<Vec<TrackState>>,
+}
+
+/// The shared trace sink a [`Recorder`](crate::Recorder) owns. Cloneable
+/// handle; the disabled form (from a recorder built without tracing) makes
+/// every call a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// The no-op tracer.
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// An enabled tracer timestamping on `clock`, with per-track rings of
+    /// `capacity` events.
+    pub fn new(clock: Arc<dyn Clock>, capacity: usize) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                clock,
+                capacity,
+                tracks: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// True when events are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A private [`WorkerTracer`] recording onto the named track. The
+    /// buffer must be handed back through [`Tracer::submit`] to appear in
+    /// the document.
+    pub fn track(&self, name: &str) -> WorkerTracer {
+        let Some(inner) = &self.inner else {
+            return WorkerTracer::disabled();
+        };
+        WorkerTracer {
+            inner: Some(WorkerTracerInner {
+                clock: inner.clock.clone(),
+                track: name.to_string(),
+                buf: TraceBuffer::new(inner.capacity),
+            }),
+        }
+    }
+
+    /// A worker tracer on the track `{prefix}{index}` (e.g. `pool.worker3`).
+    /// Disabled tracers allocate nothing.
+    pub fn worker(&self, prefix: &str, index: usize) -> WorkerTracer {
+        if self.inner.is_none() {
+            return WorkerTracer::disabled();
+        }
+        self.track(&format!("{prefix}{index}"))
+    }
+
+    /// Opens a span on the shared `main` track (recorder phase spans).
+    pub fn begin_main(&self, name: &'static str, arg: u64) {
+        self.push_main(EventKind::Begin, name, arg);
+    }
+
+    /// Closes the innermost open span on the `main` track.
+    pub fn end_main(&self, name: &'static str) {
+        self.push_main(EventKind::End, name, 0);
+    }
+
+    /// Records a point event on the `main` track.
+    pub fn instant_main(&self, name: &'static str, arg: u64) {
+        self.push_main(EventKind::Instant, name, arg);
+    }
+
+    fn push_main(&self, kind: EventKind, name: &'static str, arg: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut tracks = inner.tracks.lock().expect("trace track lock");
+        // The clock is read under the lock so buffer order and timestamp
+        // order agree on the shared track even with concurrent callers.
+        let t_nanos = inner.clock.now_nanos();
+        let track = find_or_create(&mut tracks, names::TRACK_MAIN, inner.capacity);
+        track.buf.push(TraceEvent {
+            name,
+            kind,
+            t_nanos,
+            arg,
+        });
+    }
+
+    /// Merges a worker's finished buffer into the shared store. Submitting
+    /// the per-worker buffers in worker-index order after a batch joins
+    /// keeps the merged document deterministic in structure.
+    pub fn submit(&self, wt: WorkerTracer) {
+        let (Some(inner), Some(winner)) = (&self.inner, wt.inner) else {
+            return;
+        };
+        if winner.buf.is_empty() && winner.buf.dropped() == 0 {
+            return;
+        }
+        let mut tracks = inner.tracks.lock().expect("trace track lock");
+        let track = find_or_create(&mut tracks, &winner.track, inner.capacity);
+        track.buf.absorb(&winner.buf);
+    }
+
+    /// Snapshots every track into a [`TraceDoc`], sorted by track name
+    /// (digit-suffix aware).
+    pub fn finish(&self) -> TraceDoc {
+        let Some(inner) = &self.inner else {
+            return TraceDoc { tracks: Vec::new() };
+        };
+        let tracks = inner.tracks.lock().expect("trace track lock");
+        let mut dumps: Vec<TrackDump> = tracks
+            .iter()
+            .map(|t| TrackDump {
+                name: t.name.clone(),
+                dropped: t.buf.dropped(),
+                events: t.buf.iter_in_order().copied().collect(),
+            })
+            .collect();
+        dumps.sort_by_key(|d| track_sort_key(&d.name));
+        TraceDoc { tracks: dumps }
+    }
+}
+
+fn find_or_create<'a>(
+    tracks: &'a mut Vec<TrackState>,
+    name: &str,
+    capacity: usize,
+) -> &'a mut TrackState {
+    if let Some(i) = tracks.iter().position(|t| t.name == name) {
+        return &mut tracks[i];
+    }
+    tracks.push(TrackState {
+        name: name.to_string(),
+        buf: TraceBuffer::new(capacity),
+    });
+    tracks.last_mut().expect("just pushed")
+}
+
+/// Sort key splitting a trailing decimal suffix out of a track name, so
+/// `pool.worker2` orders before `pool.worker10`.
+fn track_sort_key(name: &str) -> (String, u64) {
+    let digits = name.chars().rev().take_while(char::is_ascii_digit).count();
+    let (stem, suffix) = name.split_at(name.len() - digits);
+    (stem.to_string(), suffix.parse().unwrap_or(0))
+}
+
+/// One exported track: name, drop count, events oldest→newest.
+#[derive(Clone, Debug)]
+pub struct TrackDump {
+    /// Track name (becomes the Chrome thread name).
+    pub name: String,
+    /// Events lost to ring wraparound on this track.
+    pub dropped: u64,
+    /// Retained events in recording order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// The merged trace document, ready for Chrome trace-event export.
+#[derive(Clone, Debug)]
+pub struct TraceDoc {
+    /// Tracks sorted by name (digit-suffix aware).
+    pub tracks: Vec<TrackDump>,
+}
+
+impl TraceDoc {
+    /// Total events across all tracks.
+    pub fn events(&self) -> usize {
+        self.tracks.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Total dropped events across all tracks.
+    pub fn dropped(&self) -> u64 {
+        self.tracks.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Renders the document as Chrome trace-event JSON (the object form:
+    /// `{"schema": ..., "traceEvents": [...]}`), loadable in Perfetto and
+    /// chrome://tracing. Timestamps are microseconds; each track becomes a
+    /// `tid` with a `thread_name` metadata record.
+    ///
+    /// Ring wraparound can orphan `End` events whose `Begin` was
+    /// overwritten; those are elided (and counted as dropped) so the export
+    /// always satisfies [`validate_chrome_json`]. A span still open at
+    /// export time is closed at the track's last timestamp.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events: Vec<Value> = Vec::new();
+        let mut dropped = self.dropped();
+        for (i, track) in self.tracks.iter().enumerate() {
+            let tid = (i + 1) as u64;
+            events.push(Value::Object(vec![
+                ("name".into(), Value::String("thread_name".into())),
+                ("ph".into(), Value::String("M".into())),
+                ("pid".into(), Value::U64(1)),
+                ("tid".into(), Value::U64(tid)),
+                (
+                    "args".into(),
+                    Value::Object(vec![("name".into(), Value::String(track.name.clone()))]),
+                ),
+            ]));
+            let mut open: Vec<&'static str> = Vec::new();
+            let mut last_nanos = 0u64;
+            for ev in &track.events {
+                last_nanos = ev.t_nanos;
+                match ev.kind {
+                    EventKind::Begin => open.push(ev.name),
+                    EventKind::End => {
+                        if open.pop().is_none() {
+                            // Orphaned by ring wraparound: elide.
+                            dropped += 1;
+                            continue;
+                        }
+                    }
+                    EventKind::Instant => {}
+                }
+                events.push(chrome_event(ev, tid));
+            }
+            while let Some(name) = open.pop() {
+                events.push(chrome_event(
+                    &TraceEvent {
+                        name,
+                        kind: EventKind::End,
+                        t_nanos: last_nanos,
+                        arg: 0,
+                    },
+                    tid,
+                ));
+            }
+        }
+        let doc = Value::Object(vec![
+            ("schema".into(), Value::String(TRACE_SCHEMA.into())),
+            ("displayTimeUnit".into(), Value::String("ms".into())),
+            (
+                "otherData".into(),
+                Value::Object(vec![
+                    ("dropped_events".into(), Value::U64(dropped)),
+                    ("tracks".into(), Value::U64(self.tracks.len() as u64)),
+                ]),
+            ),
+            ("traceEvents".into(), Value::Array(events)),
+        ]);
+        let mut out = String::new();
+        write_json(&doc, &mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+}
+
+fn chrome_event(ev: &TraceEvent, tid: u64) -> Value {
+    let ts = Value::F64(ev.t_nanos as f64 / 1_000.0);
+    let mut fields = vec![
+        ("name".into(), Value::String(ev.name.into())),
+        (
+            "ph".into(),
+            Value::String(
+                match ev.kind {
+                    EventKind::Begin => "B",
+                    EventKind::End => "E",
+                    EventKind::Instant => "i",
+                }
+                .into(),
+            ),
+        ),
+        ("ts".into(), ts),
+        ("pid".into(), Value::U64(1)),
+        ("tid".into(), Value::U64(tid)),
+    ];
+    if matches!(ev.kind, EventKind::Instant) {
+        fields.push(("s".into(), Value::String("t".into())));
+    }
+    if !matches!(ev.kind, EventKind::End) {
+        fields.push((
+            "args".into(),
+            Value::Object(vec![("arg".into(), Value::U64(ev.arg))]),
+        ));
+    }
+    Value::Object(fields)
+}
+
+/// Summary returned by a successful [`validate_chrome_json`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Non-metadata events in the document.
+    pub events: usize,
+    /// Distinct `tid`s seen.
+    pub tracks: usize,
+    /// Dropped-event count from the document header.
+    pub dropped: u64,
+}
+
+/// Validates a `bdrmapit.trace/v1` document: well-formed JSON with the
+/// schema marker, a `traceEvents` array of known phases, per-track
+/// monotone non-decreasing timestamps, and strictly paired begin/end
+/// events (matching names, nothing left open).
+pub fn validate_chrome_json(text: &str) -> Result<TraceCheck, String> {
+    let doc = parse(text)?;
+    let fields = doc.into_object()?;
+    let mut schema_ok = false;
+    let mut dropped = 0u64;
+    let mut trace_events = None;
+    for (key, value) in fields {
+        match key.as_str() {
+            "schema" => {
+                let s = value.into_string()?;
+                if s != TRACE_SCHEMA {
+                    return Err(format!("schema is `{s}`, expected `{TRACE_SCHEMA}`"));
+                }
+                schema_ok = true;
+            }
+            "otherData" => {
+                for (k, v) in value.into_object()? {
+                    if k == "dropped_events" {
+                        dropped = value_as_u64(&v)
+                            .ok_or_else(|| "dropped_events is not an integer".to_string())?;
+                    }
+                }
+            }
+            "traceEvents" => trace_events = Some(value.into_array()?),
+            _ => {}
+        }
+    }
+    if !schema_ok {
+        return Err(format!("missing `schema` key (expected `{TRACE_SCHEMA}`)"));
+    }
+    let trace_events = trace_events.ok_or_else(|| "missing `traceEvents` array".to_string())?;
+
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut open: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut tracks: BTreeMap<u64, ()> = BTreeMap::new();
+    let mut counted = 0usize;
+    for (i, ev) in trace_events.into_iter().enumerate() {
+        let fields = ev
+            .into_object()
+            .map_err(|e| format!("traceEvents[{i}]: {e}"))?;
+        let mut name = None;
+        let mut ph = None;
+        let mut ts = None;
+        let mut tid = None;
+        let mut scope = None;
+        for (k, v) in fields {
+            match k.as_str() {
+                "name" => name = Some(v.into_string().map_err(|e| format!("event {i}: {e}"))?),
+                "ph" => ph = Some(v.into_string().map_err(|e| format!("event {i}: {e}"))?),
+                "ts" => ts = value_as_f64(&v),
+                "tid" => tid = value_as_u64(&v),
+                "s" => scope = v.into_string().ok(),
+                _ => {}
+            }
+        }
+        let name = name.ok_or_else(|| format!("event {i}: missing name"))?;
+        let ph = ph.ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue;
+        }
+        let tid = tid.ok_or_else(|| format!("event {i} `{name}`: missing tid"))?;
+        let ts = ts.ok_or_else(|| format!("event {i} `{name}`: missing ts"))?;
+        tracks.insert(tid, ());
+        counted += 1;
+        if let Some(&prev) = last_ts.get(&tid) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i} `{name}`: timestamp {ts} goes backwards on tid {tid} (prev {prev})"
+                ));
+            }
+        }
+        last_ts.insert(tid, ts);
+        match ph.as_str() {
+            "B" => open.entry(tid).or_default().push(name),
+            "E" => match open.entry(tid).or_default().pop() {
+                Some(b) if b == name => {}
+                Some(b) => {
+                    return Err(format!(
+                        "event {i}: end `{name}` does not match open begin `{b}` on tid {tid}"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: end `{name}` with no open begin on tid {tid}"
+                    ))
+                }
+            },
+            "i" => {
+                if scope.is_none() {
+                    return Err(format!("event {i}: instant `{name}` missing scope `s`"));
+                }
+            }
+            other => return Err(format!("event {i} `{name}`: unknown phase `{other}`")),
+        }
+    }
+    for (tid, stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!("tid {tid}: begin `{name}` never ended"));
+        }
+    }
+    Ok(TraceCheck {
+        events: counted,
+        tracks: tracks.len(),
+        dropped,
+    })
+}
+
+fn value_as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) => u64::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+fn value_as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        Value::F64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+
+    fn mock_tracer(capacity: usize) -> (MockClock, Tracer) {
+        let clock = MockClock::new();
+        let tracer = Tracer::new(Arc::new(clock.clone()), capacity);
+        (clock, tracer)
+    }
+
+    #[test]
+    fn disabled_tracer_is_free() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        let mut wt = tracer.worker("pool.worker", 0);
+        assert!(!wt.is_enabled());
+        wt.begin("x", 0);
+        wt.end("x");
+        tracer.instant_main("y", 1);
+        tracer.submit(wt);
+        let doc = tracer.finish();
+        assert!(doc.tracks.is_empty());
+        assert_eq!(doc.events(), 0);
+    }
+
+    #[test]
+    fn events_round_trip_through_export_and_validation() {
+        let (clock, tracer) = mock_tracer(64);
+        let mut w0 = tracer.worker("w", 0);
+        let mut w1 = tracer.worker("w", 1);
+        w0.begin("task", 3);
+        clock.advance(1_000);
+        w0.end("task");
+        w1.instant("steal", 2);
+        tracer.begin_main("phase", 0);
+        clock.advance(500);
+        tracer.end_main("phase");
+        // Submission order deliberately reversed: export sorts by name.
+        tracer.submit(w1);
+        tracer.submit(w0);
+        let doc = tracer.finish();
+        let names: Vec<&str> = doc.tracks.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["main", "w0", "w1"]);
+        let json = doc.to_chrome_json();
+        let check = validate_chrome_json(&json).expect("valid chrome trace");
+        assert_eq!(check.events, 5);
+        assert_eq!(check.tracks, 3);
+        assert_eq!(check.dropped, 0);
+        assert!(json.contains("\"bdrmapit.trace/v1\""));
+        assert!(json.contains("thread_name"));
+    }
+
+    #[test]
+    fn worker_track_order_is_numeric_not_lexicographic() {
+        let (_clock, tracer) = mock_tracer(8);
+        for idx in [10usize, 2, 0] {
+            let mut wt = tracer.worker("pool.worker", idx);
+            wt.instant("tick", idx as u64);
+            tracer.submit(wt);
+        }
+        let doc = tracer.finish();
+        let names: Vec<&str> = doc.tracks.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["pool.worker0", "pool.worker2", "pool.worker10"]);
+    }
+
+    #[test]
+    fn ring_wraparound_drops_oldest_and_counts() {
+        let mut buf = TraceBuffer::new(3);
+        for i in 0..5u64 {
+            buf.push(TraceEvent {
+                name: "tick",
+                kind: EventKind::Instant,
+                t_nanos: i,
+                arg: i,
+            });
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 2);
+        let order: Vec<u64> = buf.iter_in_order().map(|e| e.arg).collect();
+        assert_eq!(order, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn wrapped_track_reports_drops_in_header_and_stays_valid() {
+        let (clock, tracer) = mock_tracer(4);
+        let mut wt = tracer.worker("w", 0);
+        for i in 0..6u64 {
+            wt.begin("task", i);
+            clock.advance(10);
+            wt.end("task");
+        }
+        tracer.submit(wt);
+        let doc = tracer.finish();
+        assert_eq!(doc.dropped(), 8);
+        let json = doc.to_chrome_json();
+        let check = validate_chrome_json(&json).expect("sanitized export validates");
+        assert!(check.dropped >= 8);
+    }
+
+    #[test]
+    fn unclosed_span_is_closed_at_export() {
+        let (clock, tracer) = mock_tracer(16);
+        let mut wt = tracer.worker("w", 0);
+        wt.begin("outer", 0);
+        clock.advance(5);
+        wt.instant("mark", 1);
+        tracer.submit(wt);
+        let json = tracer.finish().to_chrome_json();
+        validate_chrome_json(&json).expect("export closes open spans");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_documents() {
+        assert!(validate_chrome_json("not json").is_err());
+        assert!(validate_chrome_json("{\"traceEvents\": []}")
+            .unwrap_err()
+            .contains("schema"));
+        let bad_schema = "{\"schema\": \"nope\", \"traceEvents\": []}";
+        assert!(validate_chrome_json(bad_schema).is_err());
+        // Backwards timestamp on one tid.
+        let back = format!(
+            "{{\"schema\": \"{TRACE_SCHEMA}\", \"traceEvents\": [\
+             {{\"name\": \"a\", \"ph\": \"B\", \"ts\": 5, \"pid\": 1, \"tid\": 1}},\
+             {{\"name\": \"a\", \"ph\": \"E\", \"ts\": 4, \"pid\": 1, \"tid\": 1}}]}}"
+        );
+        assert!(validate_chrome_json(&back)
+            .unwrap_err()
+            .contains("backwards"));
+        // Mismatched begin/end names.
+        let cross = format!(
+            "{{\"schema\": \"{TRACE_SCHEMA}\", \"traceEvents\": [\
+             {{\"name\": \"a\", \"ph\": \"B\", \"ts\": 1, \"pid\": 1, \"tid\": 1}},\
+             {{\"name\": \"b\", \"ph\": \"E\", \"ts\": 2, \"pid\": 1, \"tid\": 1}}]}}"
+        );
+        assert!(validate_chrome_json(&cross).unwrap_err().contains("match"));
+        // Unclosed begin.
+        let open = format!(
+            "{{\"schema\": \"{TRACE_SCHEMA}\", \"traceEvents\": [\
+             {{\"name\": \"a\", \"ph\": \"B\", \"ts\": 1, \"pid\": 1, \"tid\": 1}}]}}"
+        );
+        assert!(validate_chrome_json(&open)
+            .unwrap_err()
+            .contains("never ended"));
+    }
+
+    #[test]
+    fn absorb_carries_drop_counts_through() {
+        let mut a = TraceBuffer::new(2);
+        let mut b = TraceBuffer::new(2);
+        for i in 0..3u64 {
+            b.push(TraceEvent {
+                name: "x",
+                kind: EventKind::Instant,
+                t_nanos: i,
+                arg: i,
+            });
+        }
+        assert_eq!(b.dropped(), 1);
+        a.absorb(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.dropped(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Registry audit: every metric, phase, span, or trace-event name used as a
+//! string literal anywhere in workspace (non-test) source must be declared
+//! in `obs::names`. The registry is what makes `report diff` and the
+//! determinism comparisons meaningful — an ad-hoc literal at a call site
+//! would create a counter nobody can cross-reference or gate on.
+//!
+//! The check is lexical (a grep in cargo-test clothing): it scans
+//! `crates/*/src/**/*.rs`, truncates each file at its first `#[cfg(test)]`
+//! so unit-test fixtures can use throwaway names, and flags any string
+//! literal passed directly to a recording method.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Recording methods whose first argument is a registered name.
+const RECORDING_CALLS: &[&str] = &[
+    ".add(\"",
+    ".inc(\"",
+    ".add_exec(\"",
+    ".record(\"",
+    ".span(\"",
+    ".begin(\"",
+    ".end(\"",
+    ".instant(\"",
+    ".begin_main(\"",
+    ".end_main(\"",
+    ".instant_main(\"",
+    ".track(\"",
+    ".worker(\"",
+];
+
+fn workspace_crates() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("obs lives under crates/")
+        .to_path_buf()
+}
+
+fn rust_sources_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable source tree") {
+        let path = entry.expect("readable entry").path();
+        if path.is_dir() {
+            rust_sources_under(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// All string literals in `names.rs` outside comments: the declared
+/// registry, including slice members like the serve verb list.
+fn declared_names() -> BTreeSet<String> {
+    let text = include_str!("../src/names.rs");
+    let mut declared = BTreeSet::new();
+    for line in text.lines() {
+        let code = line.split("//").next().unwrap_or("");
+        let mut rest = code;
+        while let Some(start) = rest.find('"') {
+            let Some(len) = rest[start + 1..].find('"') else {
+                break;
+            };
+            declared.insert(rest[start + 1..start + 1 + len].to_string());
+            rest = &rest[start + len + 2..];
+        }
+    }
+    assert!(
+        declared.len() > 30,
+        "names.rs parse looks broken: only {} literals",
+        declared.len()
+    );
+    declared
+}
+
+#[test]
+fn every_literal_metric_name_is_declared_in_obs_names() {
+    let declared = declared_names();
+    let mut sources = Vec::new();
+    for entry in std::fs::read_dir(workspace_crates()).expect("crates/ readable") {
+        let src = entry.expect("crate dir").path().join("src");
+        if src.is_dir() {
+            rust_sources_under(&src, &mut sources);
+        }
+    }
+    assert!(
+        sources.len() > 10,
+        "workspace scan looks broken: only {} files",
+        sources.len()
+    );
+
+    let names_rs = Path::new("names.rs");
+    let mut violations = Vec::new();
+    for path in &sources {
+        if path.file_name() == Some(names_rs.as_os_str()) {
+            continue; // the registry itself
+        }
+        let text = std::fs::read_to_string(path).expect("readable source file");
+        let body = text.split("#[cfg(test)]").next().unwrap_or("");
+        for (lineno, line) in body.lines().enumerate() {
+            let code = line.split("//").next().unwrap_or("");
+            for call in RECORDING_CALLS {
+                let mut rest = code;
+                while let Some(at) = rest.find(call) {
+                    let lit = &rest[at + call.len()..];
+                    let Some(end) = lit.find('"') else { break };
+                    let name = &lit[..end];
+                    if !declared.contains(name) {
+                        violations.push(format!(
+                            "{}:{}: `{}{}\"` not declared in obs::names",
+                            path.display(),
+                            lineno + 1,
+                            call,
+                            name
+                        ));
+                    }
+                    rest = &rest[at + call.len() + end..];
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "undeclared metric/trace names:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn registry_constants_are_unique_and_well_formed() {
+    // Spot-check the registry itself: the names the pipeline and the CLI
+    // gate on exist, and nothing in the registry is empty or whitespace.
+    let declared = declared_names();
+    for must_exist in [
+        obs::names::PHASE_GRAPH,
+        obs::names::PHASE_REFINE,
+        obs::names::REFINE_ITERATIONS,
+        obs::names::EV_POOL_TASK,
+        obs::names::EV_REFINE_WAVE,
+        obs::names::EV_SERVE_REQUEST,
+        obs::names::TRACK_MAIN,
+    ] {
+        assert!(declared.contains(must_exist), "{must_exist} not found");
+    }
+    for name in &declared {
+        assert!(!name.trim().is_empty(), "blank name in registry");
+        assert_eq!(name.trim(), name, "padded name in registry: `{name}`");
+    }
+    for verb in obs::names::SERVE_VERBS {
+        assert!(
+            declared.contains(*verb),
+            "serve verb `{verb}` missing from registry literals"
+        );
+    }
+}

@@ -48,7 +48,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use obs::{Clock, MonotonicClock, Recorder};
+use obs::trace::Tracer;
+use obs::{Clock, MonotonicClock, Recorder, WorkerTracer};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -98,6 +99,7 @@ pub struct WorkerPool {
     workers: usize,
     clock: Arc<dyn Clock>,
     rec: Recorder,
+    tracer: Tracer,
     tasks: AtomicU64,
     steals: AtomicU64,
     batches: AtomicU64,
@@ -128,10 +130,12 @@ impl WorkerPool {
         } else {
             threads
         };
+        let tracer = rec.tracer();
         WorkerPool {
             workers,
             clock: Arc::new(MonotonicClock::new()),
             rec,
+            tracer,
             tasks: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -193,9 +197,13 @@ impl WorkerPool {
         }
         let crew = self.workers.min(tasks);
         if crew == 1 {
+            let mut batch_tr = self.tracer.track(obs::names::TRACK_POOL_BATCHES);
+            batch_tr.begin(obs::names::EV_POOL_BATCH, tasks as u64);
             let t0 = self.clock.now_nanos();
             let out: Vec<T> = (0..tasks).map(job).collect();
             let busy_ns = self.clock.now_nanos().saturating_sub(t0);
+            batch_tr.end(obs::names::EV_POOL_BATCH);
+            self.tracer.submit(batch_tr);
             self.account(busy, tasks as u64, 0, busy_ns);
             return out;
         }
@@ -208,31 +216,51 @@ impl WorkerPool {
             .collect();
         let steals = AtomicU64::new(0);
         let busy_ns = AtomicU64::new(0);
+        // Per-worker event buffers: each worker records into its own
+        // tracer (no shared state on the hot path) and parks it in its
+        // slot; the coordinator submits them in worker-index order below.
+        let trace_slots: Vec<Mutex<Option<WorkerTracer>>> =
+            (0..crew).map(|_| Mutex::new(None)).collect();
+        let mut batch_tr = self.tracer.track(obs::names::TRACK_POOL_BATCHES);
+        batch_tr.begin(obs::names::EV_POOL_BATCH, tasks as u64);
         let (tx, rx) = mpsc::channel::<(usize, T)>();
         let result = crossbeam::thread::scope(|s| {
             let (slots, job) = (&slots, &job);
             let (steals, busy_ns) = (&steals, &busy_ns);
-            let clock = &self.clock;
-            for w in 1..crew {
+            let (clock, tracer) = (&self.clock, &self.tracer);
+            for (w, trace_slot) in trace_slots.iter().enumerate().skip(1) {
                 let tx = tx.clone();
                 s.spawn(move |_| {
+                    let mut wt = tracer.worker(obs::names::TRACK_POOL_WORKER, w);
                     let t0 = clock.now_nanos();
-                    steal_loop(w, slots, job, &tx, steals);
+                    steal_loop(w, slots, job, &tx, steals, &mut wt);
                     busy_ns.fetch_add(clock.now_nanos().saturating_sub(t0), Ordering::Relaxed);
+                    *trace_slot.lock() = Some(wt);
                 });
             }
+            let mut wt = tracer.worker(obs::names::TRACK_POOL_WORKER, 0);
             let t0 = clock.now_nanos();
-            steal_loop(0, slots, job, &tx, steals);
+            steal_loop(0, slots, job, &tx, steals, &mut wt);
             busy_ns.fetch_add(clock.now_nanos().saturating_sub(t0), Ordering::Relaxed);
+            *trace_slots[0].lock() = Some(wt);
         });
         drop(tx);
         if let Err(payload) = result {
             std::panic::resume_unwind(payload);
         }
+        batch_tr.begin(obs::names::EV_POOL_REASSEMBLE, tasks as u64);
         let mut out: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
         for (i, v) in rx {
             out[i] = Some(v);
         }
+        batch_tr.end(obs::names::EV_POOL_REASSEMBLE);
+        batch_tr.end(obs::names::EV_POOL_BATCH);
+        for slot in trace_slots {
+            if let Some(wt) = slot.into_inner() {
+                self.tracer.submit(wt);
+            }
+        }
+        self.tracer.submit(batch_tr);
         self.account(
             busy,
             tasks as u64,
@@ -262,30 +290,46 @@ impl WorkerPool {
             return Vec::new();
         }
         if crew == 1 {
+            let mut batch_tr = self.tracer.track(obs::names::TRACK_POOL_BATCHES);
+            batch_tr.begin(obs::names::EV_POOL_BATCH, 1);
             let t0 = self.clock.now_nanos();
             let out = vec![job(0)];
             let busy_ns = self.clock.now_nanos().saturating_sub(t0);
+            batch_tr.end(obs::names::EV_POOL_BATCH);
+            self.tracer.submit(batch_tr);
             self.account(busy, 1, 0, busy_ns);
             return out;
         }
         let busy_ns = AtomicU64::new(0);
+        let trace_slots: Vec<Mutex<Option<WorkerTracer>>> =
+            (0..crew).map(|_| Mutex::new(None)).collect();
+        let mut batch_tr = self.tracer.track(obs::names::TRACK_POOL_BATCHES);
+        batch_tr.begin(obs::names::EV_POOL_BATCH, crew as u64);
         let (tx, rx) = mpsc::channel::<(usize, T)>();
         let result = crossbeam::thread::scope(|s| {
             let job = &job;
             let busy_ns = &busy_ns;
-            let clock = &self.clock;
-            for w in 1..crew {
+            let (clock, tracer) = (&self.clock, &self.tracer);
+            for (w, trace_slot) in trace_slots.iter().enumerate().skip(1) {
                 let tx = tx.clone();
                 s.spawn(move |_| {
+                    let mut wt = tracer.worker(obs::names::TRACK_POOL_WORKER, w);
+                    wt.begin(obs::names::EV_POOL_TASK, w as u64);
                     let t0 = clock.now_nanos();
                     let v = job(w);
                     busy_ns.fetch_add(clock.now_nanos().saturating_sub(t0), Ordering::Relaxed);
+                    wt.end(obs::names::EV_POOL_TASK);
+                    *trace_slot.lock() = Some(wt);
                     let _ = tx.send((w, v));
                 });
             }
+            let mut wt = tracer.worker(obs::names::TRACK_POOL_WORKER, 0);
+            wt.begin(obs::names::EV_POOL_TASK, 0);
             let t0 = clock.now_nanos();
             let v = job(0);
             busy_ns.fetch_add(clock.now_nanos().saturating_sub(t0), Ordering::Relaxed);
+            wt.end(obs::names::EV_POOL_TASK);
+            *trace_slots[0].lock() = Some(wt);
             let _ = tx.send((0, v));
         });
         drop(tx);
@@ -296,6 +340,13 @@ impl WorkerPool {
         for (i, v) in rx {
             out[i] = Some(v);
         }
+        batch_tr.end(obs::names::EV_POOL_BATCH);
+        for slot in trace_slots {
+            if let Some(wt) = slot.into_inner() {
+                self.tracer.submit(wt);
+            }
+        }
+        self.tracer.submit(batch_tr);
         // detlint::allow(relaxed-atomic-output): busy-time counter feeds the exec-only PoolStats/metrics surface, never the returned Vec
         self.account(busy, crew as u64, 0, busy_ns.load(Ordering::Relaxed));
         out.into_iter()
@@ -325,6 +376,7 @@ fn steal_loop<T: Send, F: Fn(usize) -> T + Sync>(
     job: &F,
     tx: &mpsc::Sender<(usize, T)>,
     steals: &AtomicU64,
+    wt: &mut WorkerTracer,
 ) {
     loop {
         let task = {
@@ -338,9 +390,11 @@ fn steal_loop<T: Send, F: Fn(usize) -> T + Sync>(
             }
         };
         if let Some(t) = task {
+            wt.begin(obs::names::EV_POOL_TASK, t as u64);
             // The receiver outlives the scope, so a send only fails after a
             // sibling panicked and the whole batch is being torn down.
             let _ = tx.send((t, job(t)));
+            wt.end(obs::names::EV_POOL_TASK);
             continue;
         }
         let mut victim = None;
@@ -369,6 +423,7 @@ fn steal_loop<T: Send, F: Fn(usize) -> T + Sync>(
         };
         *slots[me].lock() = stolen;
         steals.fetch_add(1, Ordering::Relaxed);
+        wt.instant(obs::names::EV_POOL_STEAL, (stolen.1 - stolen.0) as u64);
     }
 }
 
@@ -536,6 +591,46 @@ mod tests {
         assert_eq!(report.exec[obs::names::EXEC_POOL_TASKS], 20);
         assert!(report.exec.contains_key(obs::names::EXEC_POOL_STEALS));
         assert!(report.exec.contains_key("pool.busy_us.test"));
+    }
+
+    /// Tracing captures the scheduling story: a skewed batch that forces
+    /// real steals must surface per-task spans, a steal instant, and the
+    /// batch dispatch/reassembly spans, and the merged export must pass the
+    /// trace validator.
+    #[test]
+    fn tracing_records_dispatch_steal_and_reassembly() {
+        let rec = Recorder::with_tracing(false, 4096);
+        let pool = WorkerPool::with_recorder(2, rec.clone());
+        let out = pool.run("pool.busy_us.test", 64, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            i
+        });
+        assert_eq!(out.len(), 64);
+        assert!(pool.stats().steals > 0, "skewed batch should force a steal");
+        let doc = rec.tracer().finish();
+        let names: Vec<&str> = doc.tracks.iter().map(|t| t.name.as_str()).collect();
+        assert!(names.contains(&obs::names::TRACK_POOL_BATCHES));
+        // Which workers ran tasks is scheduling-dependent (a thief can
+        // drain a sibling's whole interval), but someone always did.
+        assert!(names.iter().any(|n| n.starts_with("pool.worker")));
+        let json = doc.to_chrome_json();
+        assert!(json.contains(obs::names::EV_POOL_TASK));
+        assert!(json.contains(obs::names::EV_POOL_STEAL));
+        assert!(json.contains(obs::names::EV_POOL_REASSEMBLE));
+        obs::trace::validate_chrome_json(&json).expect("pool trace validates");
+    }
+
+    /// With tracing off (the default recorder), the pool allocates no
+    /// tracks and produces an empty document.
+    #[test]
+    fn disabled_tracer_stays_empty_through_a_batch() {
+        let rec = Recorder::new(false);
+        let pool = WorkerPool::with_recorder(4, rec.clone());
+        pool.run("pool.busy_us.test", 32, |i| i);
+        pool.broadcast("pool.busy_us.test", 2, |w| w);
+        assert!(rec.tracer().finish().tracks.is_empty());
     }
 
     #[test]

@@ -33,9 +33,11 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use client::Client;
-pub use protocol::{dispatch, LinkJson, Request, Response, StatsJson};
+pub use metrics::ServeMetrics;
+pub use protocol::{dispatch, LinkJson, Request, Response, StatsJson, VerbStatsJson};
 pub use server::{RunningServer, Server, ServerConfig, ShutdownHandle};

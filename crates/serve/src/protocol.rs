@@ -62,8 +62,11 @@ pub struct LinkJson {
     pub last_hop: bool,
 }
 
-/// Section record counts as serialized in a `stats` response.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// Section record counts — plus, when answered by a live server, uptime
+/// and the per-verb request/latency table — as serialized in a `stats`
+/// response. The live fields are `Option` so snapshots of the old shape
+/// still deserialize (the vendored serde maps a missing field to `None`).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StatsJson {
     /// Annotation rows.
     pub annotations: u64,
@@ -73,6 +76,24 @@ pub struct StatsJson {
     pub routers: u64,
     /// Prefix→origin entries.
     pub prefixes: u64,
+    /// Milliseconds the answering server has been up (absent from the pure
+    /// [`dispatch`] path, which has no server attached).
+    pub uptime_ms: Option<u64>,
+    /// Per-verb request counts and latency percentiles (absent from the
+    /// pure [`dispatch`] path).
+    pub verbs: Option<std::collections::BTreeMap<String, VerbStatsJson>>,
+}
+
+/// One verb's row in the `stats` response: how many requests it answered
+/// and where the latency distribution sits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerbStatsJson {
+    /// Requests dispatched to this verb.
+    pub requests: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
 }
 
 /// A response line: flat, with `ok` always present and the remaining
@@ -220,6 +241,7 @@ pub fn dispatch(snap: &Snapshot, req: &Request) -> Response {
                     links: s.links,
                     routers: s.routers,
                     prefixes: s.prefixes,
+                    ..StatsJson::default()
                 }),
                 ..Response::ok()
             }
@@ -228,12 +250,21 @@ pub fn dispatch(snap: &Snapshot, req: &Request) -> Response {
     }
 }
 
+/// Parses one request line; malformed JSON becomes the `ok: false`
+/// response the server answers with instead of dropping the connection.
+/// Split from [`handle_line`] so the server can learn the verb (for
+/// per-verb metrics) before dispatching.
+pub fn parse_line(line: &str) -> Result<Request, Box<Response>> {
+    serde_json::from_str::<Request>(line)
+        .map_err(|e| Box::new(Response::error(format!("bad request JSON: {e}"))))
+}
+
 /// Parses one request line and dispatches it; malformed JSON becomes an
 /// `ok: false` response rather than a dropped connection.
 pub fn handle_line(snap: &Snapshot, line: &str) -> Response {
-    match serde_json::from_str::<Request>(line) {
+    match parse_line(line) {
         Ok(req) => dispatch(snap, &req),
-        Err(e) => Response::error(format!("bad request JSON: {e}")),
+        Err(e) => *e,
     }
 }
 

@@ -16,7 +16,9 @@
 //! sender side drops, and workers drain and exit — so `run` returns
 //! promptly even when clients are idle inside their read timeout.
 
+use crate::metrics::ServeMetrics;
 use crate::protocol;
+use obs::WorkerTracer;
 use snapshot::Snapshot;
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -108,6 +110,7 @@ pub struct Server {
     snapshot: Arc<Snapshot>,
     cfg: ServerConfig,
     rec: obs::Recorder,
+    metrics: ServeMetrics,
     stop: Arc<AtomicBool>,
 }
 
@@ -128,6 +131,7 @@ impl Server {
             snapshot,
             cfg,
             rec,
+            metrics: ServeMetrics::new(),
             stop: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -159,8 +163,9 @@ impl Server {
         // inference; the worker pool only moves bytes between sockets and a
         // read-only snapshot, so scheduling cannot reach any pipeline output
         crossbeam::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|_| self.worker_loop(&rx, &active));
+            let (rx, active) = (&rx, &active);
+            for w in 0..workers {
+                s.spawn(move |_| self.worker_loop(w, rx, active));
             }
             self.accept_loop(&tx);
             drop(tx); // workers drain the queue, then their recv errors out
@@ -187,29 +192,32 @@ impl Server {
         }
     }
 
-    fn worker_loop(&self, rx: &Mutex<mpsc::Receiver<TcpStream>>, active: &ActiveConns) {
+    fn worker_loop(&self, w: usize, rx: &Mutex<mpsc::Receiver<TcpStream>>, active: &ActiveConns) {
+        let tracer = self.rec.tracer();
+        let mut wt = tracer.worker(obs::names::TRACK_SERVE_WORKER, w);
         loop {
             let conn = match rx.lock() {
                 Ok(guard) => guard.recv(),
-                Err(_) => return,
+                Err(_) => break,
             };
             match conn {
                 Ok(stream) => {
                     let id = active.register(&stream);
-                    self.handle_connection(stream);
+                    self.handle_connection(stream, &mut wt);
                     active.deregister(id);
                     if self.stop.load(Ordering::SeqCst) {
-                        return;
+                        break;
                     }
                 }
-                Err(_) => return, // sender dropped: shutdown
+                Err(_) => break, // sender dropped: shutdown
             }
         }
+        tracer.submit(wt);
     }
 
     /// Serves one persistent connection: request line in, response line
     /// out, until EOF, a read timeout, or an I/O error.
-    fn handle_connection(&self, stream: TcpStream) {
+    fn handle_connection(&self, stream: TcpStream, wt: &mut WorkerTracer) {
         // NODELAY matters: the protocol is small request/response lines, and
         // Nagle + delayed ACK turns each into a ~40 ms round trip.
         let _ = stream.set_nodelay(true);
@@ -242,7 +250,28 @@ impl Server {
                 continue;
             }
             self.rec.add_exec(obs::names::EXEC_SERVE_REQUESTS, 1);
-            let resp = protocol::handle_line(&self.snapshot, &line);
+            let t0 = self.metrics.begin();
+            wt.begin(obs::names::EV_SERVE_REQUEST, line.len() as u64);
+            let (verb, resp) = match protocol::parse_line(&line) {
+                Ok(req) => {
+                    let verb = obs::names::serve_verb(&req.cmd);
+                    let mut resp = protocol::dispatch(&self.snapshot, &req);
+                    if let Some(stats) = resp.stats.as_mut() {
+                        // Only a live server can answer uptime/latency; the
+                        // pure dispatch path leaves these fields absent.
+                        self.metrics.fill(stats);
+                    }
+                    (verb, resp)
+                }
+                Err(e) => (None, *e),
+            };
+            wt.end(obs::names::EV_SERVE_REQUEST);
+            if let Some(verb) = verb {
+                self.metrics.observe(verb, t0);
+                if let Some(counter) = obs::names::serve_request_counter(verb) {
+                    self.rec.add_exec(counter, 1);
+                }
+            }
             if !resp.ok {
                 self.rec.add_exec(obs::names::EXEC_SERVE_ERRORS, 1);
             }

@@ -105,6 +105,16 @@ fn every_verb_answers_over_a_persistent_connection() {
         (s.annotations, s.links, s.routers, s.prefixes),
         (64, 1, 16, 2)
     );
+    // A live server reports uptime and per-verb latency; the four verbs
+    // exercised above (on this same persistent connection, so strictly
+    // before the stats dispatch) each show up with one request.
+    assert!(s.uptime_ms.is_some());
+    let verbs = s.verbs.expect("live server reports per-verb stats");
+    for verb in ["lookup_addr", "lookup_prefix", "router", "links_of_as"] {
+        let row = &verbs[verb];
+        assert_eq!(row.requests, 1, "{verb}");
+        assert!(row.p99_us >= row.p50_us, "{verb}");
+    }
 
     running.shutdown();
 }

@@ -425,6 +425,8 @@ pub fn probe_campaign_in_pool(
 ) -> Vec<Trace> {
     let dests = destinations(net, cfg);
     let _span = rec.span(obs::names::PHASE_TRACEROUTE);
+    rec.tracer()
+        .instant_main(obs::names::EV_CAMPAIGN_DESTS, dests.len() as u64);
     let (traces, workers) = campaign_in_pool(net, vps, &dests, cfg, wp);
     rec.add(obs::names::TRACEROUTE_TRACES, traces.len() as u64);
     rec.add(
