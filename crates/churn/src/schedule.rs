@@ -1,0 +1,168 @@
+//! Deterministic churn schedules: seed-derived timed topology events.
+//!
+//! A [`ChurnSchedule`] is a pure function of the generated Internet and a
+//! seed: the same `(net, seed, epochs)` triple always yields the same event
+//! sequence, so a churn run is reproducible end to end. Events target
+//! non-clique ASes — edge networks churn, the core is stable — which also
+//! keeps each event's blast radius small enough for the incremental engine
+//! to exploit.
+//!
+//! The first two epochs carry link failures and recoveries only; router
+//! additions and prefix reannouncements become eligible from epoch
+//! [`GROWTH_EPOCH`] on, so every run starts with purely intra-AS dynamics
+//! before interdomain routing starts moving.
+
+use net_types::Asn;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+use topo_gen::{Internet, RouterId, Tier, TopologyEvent};
+
+/// First epoch at which [`TopologyEvent::RouterAdd`] and
+/// [`TopologyEvent::Reannounce`] may be scheduled.
+pub const GROWTH_EPOCH: usize = 3;
+
+/// Domain separator folded into the schedule RNG seed.
+const SCHEDULE_SEED: u64 = 0x6368_7572_6e65_7673;
+
+/// A per-epoch list of topology events, derived deterministically from a
+/// seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChurnSchedule {
+    /// `epochs[e]` holds the events for churn epoch `e + 1` (epoch 0 is the
+    /// baseline and never carries events).
+    pub epochs: Vec<Vec<TopologyEvent>>,
+}
+
+impl ChurnSchedule {
+    /// Derives the schedule for `epochs` churn epochs. Each epoch carries
+    /// one or two events; link failures track a down-set so recoveries only
+    /// target links the schedule itself took down.
+    ///
+    /// The schedule is advisory: [`Internet::apply_event`] may still skip an
+    /// event at apply time (e.g. a link failure that would disconnect its
+    /// AS), and the driver counts those separately.
+    pub fn generate(net: &Internet, seed: u64, epochs: usize) -> ChurnSchedule {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ SCHEDULE_SEED);
+        let clique: BTreeSet<Asn> = net.graph.tier_members(Tier::Clique).into_iter().collect();
+        let mut up: Vec<(Asn, RouterId, RouterId)> = net
+            .internal_links()
+            .into_iter()
+            .filter(|(asn, _, _)| !clique.contains(asn))
+            .collect();
+        let mut down: Vec<(Asn, RouterId, RouterId)> = Vec::new();
+        let reann: Vec<Asn> = net
+            .graph
+            .relationships
+            .ases()
+            .into_iter()
+            .filter(|&a| net.graph.relationships.providers_of(a).count() >= 2)
+            .collect();
+        let grow: Vec<Asn> = net
+            .graph
+            .relationships
+            .ases()
+            .into_iter()
+            .filter(|a| !clique.contains(a) && net.topology.as_routers.contains_key(a))
+            .collect();
+
+        let mut out = Vec::with_capacity(epochs);
+        for epoch in 1..=epochs {
+            let n = 1 + usize::from(rng.gen_bool(0.5));
+            let mut evs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let roll: u32 = rng.gen_range(0..10);
+                let ev = if epoch >= GROWTH_EPOCH && roll == 0 && !grow.is_empty() {
+                    let asn = grow[rng.gen_range(0..grow.len())];
+                    let routers = &net.topology.as_routers[&asn];
+                    let attach = routers[rng.gen_range(0..routers.len())];
+                    Some(TopologyEvent::RouterAdd { asn, attach })
+                } else if epoch >= GROWTH_EPOCH && roll == 1 && !reann.is_empty() {
+                    let asn = reann[rng.gen_range(0..reann.len())];
+                    Some(TopologyEvent::Reannounce { asn })
+                } else if roll < 4 && !down.is_empty() {
+                    let (asn, a, b) = down.swap_remove(rng.gen_range(0..down.len()));
+                    up.push((asn, a, b));
+                    Some(TopologyEvent::LinkUp { asn, a, b })
+                } else if !up.is_empty() {
+                    let (asn, a, b) = up.swap_remove(rng.gen_range(0..up.len()));
+                    down.push((asn, a, b));
+                    Some(TopologyEvent::LinkDown { asn, a, b })
+                } else {
+                    None
+                };
+                if let Some(ev) = ev {
+                    evs.push(ev);
+                }
+            }
+            out.push(evs);
+        }
+        ChurnSchedule { epochs: out }
+    }
+
+    /// Total scheduled events across all epochs.
+    pub fn event_count(&self) -> usize {
+        self.epochs.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo_gen::GeneratorConfig;
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let net = Internet::generate(GeneratorConfig::tiny(11));
+        let a = ChurnSchedule::generate(&net, 7, 6);
+        let b = ChurnSchedule::generate(&net, 7, 6);
+        assert_eq!(a, b);
+        let c = ChurnSchedule::generate(&net, 8, 6);
+        assert_ne!(a, c, "different seeds give different schedules");
+        assert_eq!(a.epochs.len(), 6);
+        assert!(
+            a.event_count() >= 6,
+            "every epoch carries at least one event"
+        );
+    }
+
+    #[test]
+    fn early_epochs_are_link_events_only() {
+        let net = Internet::generate(GeneratorConfig::tiny(12));
+        for seed in 0..20 {
+            let s = ChurnSchedule::generate(&net, seed, 8);
+            for evs in s.epochs.iter().take(GROWTH_EPOCH - 1) {
+                for ev in evs {
+                    assert!(
+                        matches!(
+                            ev,
+                            TopologyEvent::LinkDown { .. } | TopologyEvent::LinkUp { .. }
+                        ),
+                        "pre-growth epoch carries {ev:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_avoid_clique_ases() {
+        let net = Internet::generate(GeneratorConfig::tiny(13));
+        let clique = net.graph.tier_members(Tier::Clique);
+        for seed in 0..10 {
+            let s = ChurnSchedule::generate(&net, seed, 8);
+            for ev in s.epochs.iter().flatten() {
+                let asn = match ev {
+                    TopologyEvent::LinkDown { asn, .. }
+                    | TopologyEvent::LinkUp { asn, .. }
+                    | TopologyEvent::RouterAdd { asn, .. }
+                    | TopologyEvent::Reannounce { asn } => *asn,
+                };
+                assert!(
+                    !clique.contains(&asn),
+                    "clique AS {asn:?} targeted by {ev:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The churn determinism contract, adversarially: random schedules at every
+//! supported thread count, with observability on and off, must produce
+//! byte-identical snapshots at every epoch — and the default schedule's
+//! final snapshot is pinned to a golden fingerprint so silent drift in any
+//! upstream phase fails loudly.
+//!
+//! (Each `run_churn` call already proves incremental == full internally by
+//! recomputing every epoch from scratch and comparing snapshot bytes; these
+//! tests add the cross-configuration axis on top.)
+
+use churn::{run_churn, ChurnOptions};
+use proptest::prelude::*;
+use topo_gen::GeneratorConfig;
+use traceroute::sim::ProbeConfig;
+
+fn tiny_opts(epochs: usize, threads: usize, seed: u64) -> ChurnOptions {
+    ChurnOptions {
+        probe: ProbeConfig {
+            per_prefix_cap: 2,
+            ..ProbeConfig::default()
+        },
+        ..ChurnOptions::new(epochs, 4, threads, seed)
+    }
+}
+
+/// Runs the churn loop and returns the per-epoch snapshot bytes.
+fn snapshots(seed: u64, threads: usize, obs_on: bool) -> Vec<Vec<u8>> {
+    let rec = if obs_on {
+        obs::Recorder::new(false)
+    } else {
+        obs::Recorder::disabled()
+    };
+    let run = run_churn(
+        GeneratorConfig::tiny(seed),
+        &tiny_opts(3, threads, seed),
+        &rec,
+    )
+    .expect("churn run succeeds");
+    run.epochs.into_iter().map(|e| e.snapshot).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Sweeping random schedule seeds: threads 1/2/8 × obs on/off all
+    /// produce the same snapshot bytes at every epoch.
+    #[test]
+    fn snapshots_identical_across_threads_and_obs(seed in 0u64..1000) {
+        let reference = snapshots(seed, 1, false);
+        prop_assert_eq!(reference.len(), 4);
+        for threads in [1usize, 2, 8] {
+            for obs_on in [false, true] {
+                if threads == 1 && !obs_on {
+                    continue;
+                }
+                let other = snapshots(seed, threads, obs_on);
+                prop_assert_eq!(
+                    &reference,
+                    &other,
+                    "snapshots diverged at threads={} obs={}",
+                    threads,
+                    obs_on
+                );
+            }
+        }
+    }
+}
+
+/// The default schedule's final snapshot, pinned. If any upstream phase
+/// (generator, probing, alias resolution, refinement, codec) changes its
+/// output for the default seed, this fingerprint moves and the change must
+/// be acknowledged here.
+#[test]
+fn default_schedule_golden_fingerprint() {
+    let snaps = snapshots(2018, 2, false);
+    let last = snaps.last().expect("at least the baseline epoch");
+    assert_eq!(
+        snapshot::fnv1a64(last),
+        0x7f26_03b9_ae8d_6b36,
+        "final-epoch snapshot fingerprint drifted"
+    );
+}

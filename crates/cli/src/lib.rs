@@ -6,6 +6,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn_cmd;
 pub mod dataset;
 pub mod diff;
 pub mod service;
@@ -33,6 +34,17 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// The scale's CLI label (what `--scale` accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Default => "default",
+            Scale::Itdk => "itdk",
+            Scale::Large => "large",
+        }
+    }
+
     fn config(self, seed: u64) -> GeneratorConfig {
         match self {
             Scale::Tiny => GeneratorConfig::tiny(seed),
@@ -102,6 +114,20 @@ pub enum Command {
     },
     /// Run the full synthetic pipeline end to end (all five phases).
     Pipeline,
+    /// Step a churn schedule epoch by epoch (`pipeline --churn`): one
+    /// snapshot per epoch, incremental-vs-full cost accounting, per-epoch
+    /// reports.
+    Churn {
+        /// Churn epochs after the baseline.
+        epochs: usize,
+        /// Output directory for `epoch-NNN.snap` files and
+        /// `churn-report.json`.
+        dir: PathBuf,
+        /// Also write the `bdrmapit.bench-churn/v1` artifact here.
+        bench_out: Option<PathBuf>,
+        /// Enforce the incremental-cheaper-than-full cost gate.
+        gate: bool,
+    },
     /// Run the pipeline and freeze the result into a binary snapshot.
     SnapshotWrite {
         /// Output snapshot file.
@@ -111,6 +137,13 @@ pub enum Command {
     SnapshotInspect {
         /// Snapshot file to inspect.
         file: PathBuf,
+    },
+    /// Structurally compare two snapshots; exits nonzero when they differ.
+    SnapshotDiff {
+        /// Baseline snapshot.
+        a: PathBuf,
+        /// Candidate snapshot.
+        b: PathBuf,
     },
     /// Serve a snapshot over TCP until terminated.
     Serve {
@@ -139,6 +172,10 @@ pub enum Command {
         a: PathBuf,
         /// Candidate report.
         b: PathBuf,
+        /// For churn-report bundles: the epoch pair to compare
+        /// (`--epoch X` compares epoch X of both, `--epoch X:Y` compares
+        /// A's epoch X against B's epoch Y).
+        epoch: Option<(usize, usize)>,
     },
     /// Validate a `--trace-out` artifact and print its shape.
     TraceCheck {
@@ -223,6 +260,14 @@ COMMANDS:
     infer --in DIR     run bdrmapIT from a bundle; writes annotations.csv/links.csv
     pipeline    run the full synthetic pipeline end to end: generate the
                 topology, probe, resolve aliases, build the IR graph, refine
+    pipeline --churn --churn-dir DIR [--epochs N] [--bench-out FILE] [--churn-gate]
+                step a seed-derived churn schedule epoch by epoch: re-probe
+                only dirtied (vp,dst) pairs, re-converge only dirtied shards,
+                prove each epoch byte-identical to a full recompute; writes
+                epoch-NNN.snap + churn-report.json to DIR and (with
+                --bench-out) a bdrmapit.bench-churn/v1 cost artifact.
+                --churn-gate fails the run unless incremental work stays
+                below full-recompute work              [default epochs: 5]
     snapshot write --out FILE
                 run the pipeline and freeze the result into a binary
                 bdrmapit.snapshot/v1 file (annotations, links, routers,
@@ -230,15 +275,22 @@ COMMANDS:
     snapshot inspect --file FILE
                 print a snapshot's header, section table, and record counts
                 (doubles as an integrity check)
+    snapshot diff A.snap B.snap
+                structurally compare two snapshots: routers added/removed,
+                ASN reassignments, annotation agreement; prints JSON and,
+                like grep, exits 0 when identical, 1 when they differ,
+                2 on usage errors
     serve --snapshot FILE [--addr HOST:PORT] [--workers N] [--timeout SECS]
                 serve the snapshot over TCP (newline-delimited JSON protocol)
                 until terminated                 [default addr: 127.0.0.1:8642]
     query VERB [ARG] [--server HOST:PORT]
                 query a running server; verbs: lookup_addr IP, lookup_prefix IP,
                 router ID, links_of_as ASN, stats. A miss exits 1 (like grep)
-    report diff A.json B.json
+    report diff A.json B.json [--epoch X[:Y]]
                 compare two --report artifacts: counter deltas and phase
-                wall-time ratios; exits 1 when deterministic metrics diverge
+                wall-time ratios; exits 1 when deterministic metrics diverge.
+                --epoch selects epochs from churn-report bundles: X compares
+                epoch X of both, X:Y compares A's epoch X to B's epoch Y
     trace check FILE
                 validate a --trace-out artifact (schema, timestamp order,
                 span pairing) and print its shape
@@ -286,6 +338,11 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     let mut report: Option<PathBuf> = None;
     let mut trace = false;
     let mut trace_out: Option<PathBuf> = None;
+    let mut churn = false;
+    let mut churn_epochs: Option<usize> = None;
+    let mut churn_dir: Option<PathBuf> = None;
+    let mut bench_out: Option<PathBuf> = None;
+    let mut churn_gate = false;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -316,9 +373,21 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                     Some("inspect") => Command::SnapshotInspect {
                         file: PathBuf::new(),
                     },
+                    Some("diff") => {
+                        let mut file = || {
+                            it.next()
+                                .filter(|v| !v.starts_with("--"))
+                                .map(PathBuf::from)
+                                .ok_or_else(|| {
+                                    ParseError("snapshot diff requires two snapshot files".into())
+                                })
+                        };
+                        let (a, b) = (file()?, file()?);
+                        Command::SnapshotDiff { a, b }
+                    }
                     other => {
                         return Err(ParseError(format!(
-                            "snapshot requires write|inspect, got {other:?}"
+                            "snapshot requires write|inspect|diff, got {other:?}"
                         )))
                     }
                 });
@@ -349,7 +418,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                                 })
                         };
                         let (a, b) = (file()?, file()?);
-                        command = Some(Command::ReportDiff { a, b });
+                        command = Some(Command::ReportDiff { a, b, epoch: None });
                     }
                     other => {
                         return Err(ParseError(format!("report requires diff, got {other:?}")))
@@ -549,10 +618,68 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                     .ok_or_else(|| ParseError("--trace-out needs a value".into()))?;
                 trace_out = Some(PathBuf::from(v));
             }
+            "--churn" => churn = true,
+            "--epochs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--epochs needs a value".into()))?;
+                churn_epochs = Some(
+                    v.parse()
+                        .map_err(|_| ParseError(format!("bad epoch count {v:?}")))?,
+                );
+            }
+            "--churn-dir" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--churn-dir needs a value".into()))?;
+                churn_dir = Some(PathBuf::from(v));
+            }
+            "--bench-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--bench-out needs a value".into()))?;
+                bench_out = Some(PathBuf::from(v));
+            }
+            "--churn-gate" => churn_gate = true,
+            "--epoch" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--epoch needs a value".into()))?;
+                let bad = || ParseError(format!("bad epoch selector {v:?} (want N or X:Y)"));
+                let pair = if let Some((x, y)) = v.split_once(':') {
+                    (x.parse().map_err(|_| bad())?, y.parse().map_err(|_| bad())?)
+                } else {
+                    let n: usize = v.parse().map_err(|_| bad())?;
+                    (n, n)
+                };
+                match &mut command {
+                    Some(Command::ReportDiff { epoch, .. }) => *epoch = Some(pair),
+                    _ => return Err(ParseError("--epoch only applies to report diff".into())),
+                }
+            }
             other => return Err(ParseError(format!("unknown argument {other:?}"))),
         }
     }
     let command = command.ok_or_else(|| ParseError("no command given".into()))?;
+    let command = if churn {
+        match command {
+            Command::Pipeline => Command::Churn {
+                epochs: churn_epochs.unwrap_or(5),
+                dir: churn_dir.ok_or_else(|| {
+                    ParseError("pipeline --churn requires --churn-dir DIR".into())
+                })?,
+                bench_out,
+                gate: churn_gate,
+            },
+            _ => return Err(ParseError("--churn only applies to pipeline".into())),
+        }
+    } else if churn_epochs.is_some() || churn_dir.is_some() || bench_out.is_some() || churn_gate {
+        return Err(ParseError(
+            "--epochs/--churn-dir/--bench-out/--churn-gate require pipeline --churn".into(),
+        ));
+    } else {
+        command
+    };
     match &command {
         Command::Probe { out } if out.as_os_str().is_empty() => {
             return Err(ParseError("probe requires --out DIR".into()))
@@ -659,8 +786,15 @@ fn run_with_obs(cli: &Cli, rec: &obs::Recorder) -> Result<String, CliError> {
         Command::Query { server, verb, arg } => {
             return service::query_cmd(server, verb, arg.as_deref());
         }
-        Command::ReportDiff { a, b } => return diff::report_diff(a, b),
+        Command::ReportDiff { a, b, epoch } => return diff::report_diff(a, b, *epoch),
+        Command::SnapshotDiff { a, b } => return diff::snapshot_diff(a, b),
         Command::TraceCheck { file } => return diff::trace_check(file),
+        Command::Churn {
+            epochs,
+            dir,
+            bench_out,
+            gate,
+        } => return churn_cmd::churn_pipeline(cli, *epochs, dir, bench_out.as_deref(), *gate, rec),
         _ => {}
     }
     let mut s = Scenario::build_with_obs(cli.scale.config(cli.seed), rec.clone());
@@ -776,8 +910,10 @@ fn run_with_obs(cli: &Cli, rec: &obs::Recorder) -> Result<String, CliError> {
         Command::Help
         | Command::Probe { .. }
         | Command::Infer { .. }
+        | Command::Churn { .. }
         | Command::SnapshotWrite { .. }
         | Command::SnapshotInspect { .. }
+        | Command::SnapshotDiff { .. }
         | Command::Serve { .. }
         | Command::Query { .. }
         | Command::ReportDiff { .. }
@@ -1012,6 +1148,7 @@ mod tests {
             Command::ReportDiff {
                 a: PathBuf::from("a.json"),
                 b: PathBuf::from("b.json"),
+                epoch: None,
             }
         );
         let cli = parse(&args(&["trace", "check", "t.json"])).unwrap();
@@ -1100,6 +1237,103 @@ mod tests {
         assert!(out.contains("deterministic metrics agree"), "{out}");
         let _ = std::fs::remove_file(&a);
         let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn parse_churn_pipeline() {
+        let cli = parse(&args(&["pipeline", "--churn", "--churn-dir", "out"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Churn {
+                epochs: 5,
+                dir: PathBuf::from("out"),
+                bench_out: None,
+                gate: false,
+            }
+        );
+        let cli = parse(&args(&[
+            "pipeline",
+            "--churn",
+            "--epochs",
+            "3",
+            "--churn-dir",
+            "out",
+            "--bench-out",
+            "bench.json",
+            "--churn-gate",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Churn {
+                epochs: 3,
+                dir: PathBuf::from("out"),
+                bench_out: Some(PathBuf::from("bench.json")),
+                gate: true,
+            }
+        );
+        // --churn requires pipeline and --churn-dir; churn flags without
+        // --churn are rejected.
+        assert!(parse(&args(&["pipeline", "--churn"])).is_err());
+        assert!(parse(&args(&["generate", "--churn", "--churn-dir", "d"])).is_err());
+        assert!(parse(&args(&["pipeline", "--epochs", "3"])).is_err());
+        assert!(parse(&args(&["pipeline", "--churn-dir", "d"])).is_err());
+        assert!(parse(&args(&["pipeline", "--churn-gate"])).is_err());
+        assert!(parse(&args(&[
+            "pipeline",
+            "--churn",
+            "--churn-dir",
+            "d",
+            "--epochs",
+            "x"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parse_snapshot_diff() {
+        let cli = parse(&args(&["snapshot", "diff", "a.snap", "b.snap"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::SnapshotDiff {
+                a: PathBuf::from("a.snap"),
+                b: PathBuf::from("b.snap"),
+            }
+        );
+        assert!(parse(&args(&["snapshot", "diff"])).is_err());
+        assert!(parse(&args(&["snapshot", "diff", "a.snap"])).is_err());
+    }
+
+    #[test]
+    fn parse_report_diff_epoch() {
+        let cli = parse(&args(&[
+            "report", "diff", "a.json", "b.json", "--epoch", "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::ReportDiff {
+                a: PathBuf::from("a.json"),
+                b: PathBuf::from("b.json"),
+                epoch: Some((2, 2)),
+            }
+        );
+        let cli = parse(&args(&[
+            "report", "diff", "a.json", "b.json", "--epoch", "1:4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::ReportDiff {
+                a: PathBuf::from("a.json"),
+                b: PathBuf::from("b.json"),
+                epoch: Some((1, 4)),
+            }
+        );
+        assert!(parse(&args(&["report", "diff", "a", "b", "--epoch"])).is_err());
+        assert!(parse(&args(&["report", "diff", "a", "b", "--epoch", "x"])).is_err());
+        assert!(parse(&args(&["report", "diff", "a", "b", "--epoch", "1:z"])).is_err());
+        assert!(parse(&args(&["pipeline", "--epoch", "1"])).is_err());
     }
 
     #[test]

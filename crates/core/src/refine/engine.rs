@@ -157,8 +157,9 @@ pub fn refine_in_pool(
 
 /// Resolves the pool's worker budget against the shard plan, falling back
 /// to the serial path when the plan has nothing to offer a thread pool
-/// (e.g. a single narrow shard).
-fn effective_threads(requested: usize, plan: &ShardPlan) -> usize {
+/// (e.g. a single narrow shard). Shared with the incremental engine, which
+/// resolves against its dirty-shard subset plan.
+pub(crate) fn effective_threads(requested: usize, plan: &ShardPlan) -> usize {
     if requested <= 1 {
         return 1;
     }

@@ -11,6 +11,7 @@
 pub mod engine;
 pub mod exceptions;
 pub mod hidden;
+pub mod incremental;
 pub mod interface;
 pub mod parallel;
 pub mod realloc;
@@ -19,4 +20,5 @@ pub mod shard;
 pub mod votes;
 
 pub use engine::{refine, refine_in_pool, refine_with_obs, CONVERGENCE_HASH_SEED};
+pub use incremental::{refine_incremental, IncrementalStats, ShardCache};
 pub use shard::{Shard, ShardPlan};

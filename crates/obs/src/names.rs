@@ -82,6 +82,37 @@ pub const REFINE_REALLOC_FIRINGS: &str = "refine.realloc_firings";
 /// Link votes redirected by third-party detection (§6.1.1 lines 6–8).
 pub const REFINE_THIRD_PARTY_VOTES: &str = "refine.third_party_votes";
 
+// ---- churn counters ----------------------------------------------------------
+// The streaming topology-dynamics workload (crates/churn): per-run totals
+// over all epochs. Deterministic: the schedule, dirty sets, and shard reuse
+// are pure functions of the seeds.
+
+/// Epochs stepped by a churn run.
+pub const CHURN_EPOCHS: &str = "churn.epochs";
+/// Topology events whose preconditions held and that mutated the topology.
+pub const CHURN_EVENTS_APPLIED: &str = "churn.events_applied";
+/// Topology events skipped because a precondition failed (disconnecting
+/// link failure, exhausted address region, single-homed reannouncement).
+pub const CHURN_EVENTS_SKIPPED: &str = "churn.events_skipped";
+/// `(vp, dst)` pairs re-probed by the incremental delta campaigns.
+pub const CHURN_DIRTY_PAIRS: &str = "churn.dirty_pairs";
+/// `(vp, dst)` pairs served from the cached corpus.
+pub const CHURN_CLEAN_PAIRS: &str = "churn.clean_pairs";
+/// Refinement shards re-converged by the incremental engine.
+pub const CHURN_DIRTY_SHARDS: &str = "churn.dirty_shards";
+/// Refinement shards whose converged annotations were replayed from the
+/// fingerprint cache.
+pub const CHURN_REUSED_SHARDS: &str = "churn.reused_shards";
+/// Epochs that forced a full RIB/IP→AS/relationship rebuild (interdomain
+/// routing changed).
+pub const CHURN_RIB_REBUILDS: &str = "churn.rib_rebuilds";
+
+/// Span: one churn epoch end to end (events through snapshot).
+pub const PHASE_CHURN_EPOCH: &str = "churn.epoch";
+/// Instant: a shard dirtied for incremental re-convergence (arg: shard
+/// index).
+pub const EV_REFINE_DIRTY_SHARD: &str = "refine.dirty_shard";
+
 // ---- deterministic histograms ----------------------------------------------
 
 /// Iterations to convergence, one sample per shard.

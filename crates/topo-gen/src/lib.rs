@@ -31,12 +31,14 @@
 pub mod addressing;
 pub mod asgraph;
 pub mod config;
+pub mod dynamics;
 pub mod routers;
 pub mod routing;
 
 mod internet;
 
 pub use config::GeneratorConfig;
+pub use dynamics::{EventOutcome, TopologyEvent};
 pub use internet::{ForwardHop, ForwardOutcome, ForwardPath, Internet};
 
 use net_types::Asn;

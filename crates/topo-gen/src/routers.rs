@@ -384,6 +384,119 @@ impl RouterTopology {
             })
     }
 
+    /// Fails the internal link between `a` and `b`: removes the adjacency so
+    /// forwarding routes around it. The link's interfaces stay registered —
+    /// a failed link's addresses still answer pings, they just carry no
+    /// transit traffic — so a later [`restore_internal_link`] re-enables the
+    /// same addresses. Returns `false` (and changes nothing) when no such
+    /// adjacency exists or removing it would disconnect the AS's internal
+    /// topology, which `internal_path` callers assume never happens.
+    ///
+    /// [`restore_internal_link`]: RouterTopology::restore_internal_link
+    pub fn fail_internal_link(&mut self, a: RouterId, b: RouterId) -> bool {
+        if a == b || !self.internal_adj[a.0 as usize].contains(&b) {
+            return false;
+        }
+        // Connectivity guard: with the edge masked, BFS from `a` must still
+        // reach `b` some other way.
+        let mut seen = std::collections::BTreeSet::from([a]);
+        let mut queue = std::collections::VecDeque::from([a]);
+        let mut reachable = false;
+        'bfs: while let Some(cur) = queue.pop_front() {
+            for &n in &self.internal_adj[cur.0 as usize] {
+                if cur == a && n == b {
+                    continue; // the failing edge itself
+                }
+                if n == b {
+                    reachable = true;
+                    break 'bfs;
+                }
+                if seen.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        if !reachable {
+            return false;
+        }
+        self.internal_adj[a.0 as usize].retain(|&r| r != b);
+        self.internal_adj[b.0 as usize].retain(|&r| r != a);
+        true
+    }
+
+    /// Restores a previously failed internal link by re-adding the adjacency.
+    /// Returns `false` when the adjacency already exists, the routers belong
+    /// to different ASes, or they never shared a link (no interface pair to
+    /// re-enable). Adjacency-list order does not matter: `internal_path`
+    /// sorts neighbors at every step.
+    pub fn restore_internal_link(&mut self, a: RouterId, b: RouterId) -> bool {
+        if a == b
+            || self.internal_adj[a.0 as usize].contains(&b)
+            || self.routers[a.0 as usize].owner != self.routers[b.0 as usize].owner
+        {
+            return false;
+        }
+        let linked = self.routers[a.0 as usize].ifaces.iter().any(|&i| {
+            self.ifaces[i.0 as usize]
+                .neighbor
+                .is_some_and(|n| self.iface(n).router == b)
+        });
+        if !linked {
+            return false;
+        }
+        self.internal_adj[a.0 as usize].push(b);
+        self.internal_adj[b.0 as usize].push(a);
+        true
+    }
+
+    /// Adds a new router to `owner`, attached to `attach` (an existing
+    /// router of the same AS) by a fresh point-to-point link.
+    /// `addrs = [router-id address, link address on the new router, link
+    /// address on attach]`; the caller carves them from the AS's
+    /// infrastructure region (see `dynamics::carve_router_addrs`). Response
+    /// behaviour flags are all false, so the new router's behaviour does not
+    /// depend on when it appears. Returns the new router's id.
+    ///
+    /// # Panics
+    ///
+    /// When `attach` is not owned by `owner` or an address is already in use.
+    pub fn add_router(&mut self, owner: Asn, attach: RouterId, addrs: [u32; 3]) -> RouterId {
+        assert_eq!(
+            self.routers[attach.0 as usize].owner, owner,
+            "attach router belongs to the owner AS"
+        );
+        for a in addrs {
+            assert!(
+                !self.addr_to_iface.contains_key(&a),
+                "router address {a:#010x} already in use"
+            );
+        }
+        let id = RouterId(self.routers.len() as u32);
+        self.routers.push(RouterInfo {
+            id,
+            owner,
+            silent: false,
+            egress_reply: false,
+            echo_offpath: false,
+            ifaces: Vec::new(),
+        });
+        self.internal_adj.push(Vec::new());
+        // Router-id (loopback-style) interface first: `ifaces[0]` is the
+        // reply-source fallback, like every generated router.
+        self.add_iface(addrs[0], id, None, LinkKind::Internal);
+        let ia = self.add_iface(addrs[1], id, None, LinkKind::Internal);
+        let ib = self.add_iface(addrs[2], attach, None, LinkKind::Internal);
+        self.ifaces[ia.0 as usize].neighbor = Some(ib);
+        self.ifaces[ib.0 as usize].neighbor = Some(ia);
+        self.internal_adj[id.0 as usize].push(attach);
+        self.internal_adj[attach.0 as usize].push(id);
+        self.as_routers
+            .get_mut(&owner)
+            .expect("owner AS has a router list")
+            .push(id);
+        id
+    }
+
     /// Ground-truth interdomain links at router granularity, including IXP
     /// peerings.
     pub fn true_links(&self, graph: &AsGraph) -> Vec<TrueLink> {

@@ -441,6 +441,70 @@ pub fn probe_campaign_in_pool(
     traces
 }
 
+/// Probes an explicit list of `(vp, dst)` pairs on the given pool, returning
+/// one trace per pair **in pair order, unfiltered** (unresponsive traces
+/// included so the result stays index-aligned with `pairs`).
+///
+/// This is the churn workload's delta campaign: after a topology event, only
+/// the pairs whose paths traverse a touched AS (see [`traversed_ases`]) are
+/// re-probed, and the caller splices the fresh traces over its cached corpus.
+/// Determinism matches the full campaign's: every trace is a pure function
+/// of `(campaign seed, vp, dst)`, and chunks concatenate in index order.
+pub fn probe_pairs_in_pool(
+    net: &Internet,
+    pairs: &[(RouterId, u32)],
+    cfg: &ProbeConfig,
+    wp: &pool::WorkerPool,
+) -> Vec<Trace> {
+    let jobs = pairs.len();
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let batch = wp.batch_size(jobs);
+    let tasks = jobs.div_ceil(batch);
+    let shards = wp.run(obs::names::EXEC_POOL_BUSY_CAMPAIGN, tasks, |t| {
+        let (lo, hi) = (t * batch, ((t + 1) * batch).min(jobs));
+        pairs[lo..hi]
+            .iter()
+            .map(|&(vp, dst)| trace_one(net, vp, dst, cfg))
+            .collect::<Vec<Trace>>()
+    });
+    shards.into_iter().flatten().collect()
+}
+
+/// Every AS whose state can influence the `(vp, dst)` measurement: the VP's
+/// AS, the destination's BGP origin, every AS the forwarding path traverses,
+/// and the AS the path terminates in.
+///
+/// Computed from the *ground-truth* forward path, not the observed trace —
+/// silent routers hide traversed ASes from the trace, and the dirty-pair
+/// test must be conservative: a pair may only be skipped after a topology
+/// event when **no** AS it depends on was touched. Interdomain routing
+/// changes are handled separately (they dirty every pair), so this set only
+/// needs to cover intra-AS events: internal link failures/recoveries change
+/// forwarding inside one traversed AS, and router additions shift the
+/// host-to-router mapping of the terminal AS — both covered here.
+pub fn traversed_ases(net: &Internet, vp: RouterId, dst: u32) -> std::collections::BTreeSet<Asn> {
+    let mut out = std::collections::BTreeSet::from([net.topology.owner(vp)]);
+    if let Some(origin) = net.bgp_origin(dst) {
+        out.insert(origin);
+    }
+    let fwd = net.forward_path(vp, dst);
+    for h in &fwd.hops {
+        out.insert(net.topology.owner(h.router));
+    }
+    match fwd.outcome {
+        ForwardOutcome::ReachedHostSpace { asn } => {
+            out.insert(asn);
+        }
+        ForwardOutcome::ReachedIface(i) => {
+            out.insert(net.topology.owner(net.topology.iface(i).router));
+        }
+        ForwardOutcome::NoRoute => {}
+    }
+    out
+}
+
 /// Which /24-equivalent interface kinds a trace traversed — handy campaign
 /// statistics used by tests and the experiment drivers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -722,6 +786,82 @@ mod tests {
         // Deterministic.
         let again = reactive_campaign(&net, vp, &cfg, 2);
         assert_eq!(traces, again);
+    }
+
+    #[test]
+    fn probe_pairs_is_pair_aligned_and_unfiltered() {
+        let (net, cfg) = fixture();
+        let vps = select_vps(&net, 2, &[], 13);
+        let dests = destinations(&net, &cfg);
+        let pairs: Vec<(RouterId, u32)> = vps
+            .iter()
+            .flat_map(|&vp| dests.iter().map(move |&d| (vp, d)))
+            .collect();
+        let wp = pool::WorkerPool::new(2);
+        let traces = probe_pairs_in_pool(&net, &pairs, &cfg, &wp);
+        assert_eq!(traces.len(), pairs.len(), "unfiltered: one trace per pair");
+        for (&(vp, dst), t) in pairs.iter().zip(&traces) {
+            assert_eq!(*t, trace_one(&net, vp, dst, &cfg));
+            assert_eq!(t.dst, dst);
+        }
+    }
+
+    #[test]
+    fn untouched_pairs_keep_identical_traces_after_events() {
+        use topo_gen::TopologyEvent;
+        let (net, cfg) = fixture();
+        let vps = select_vps(&net, 3, &[], 14);
+        let dests = destinations(&net, &cfg);
+        let pairs: Vec<(RouterId, u32)> = vps
+            .iter()
+            .flat_map(|&vp| dests.iter().map(move |&d| (vp, d)))
+            .collect();
+        // Apply one intra-AS event of each kind and check the dirty-set
+        // contract after each: pairs whose pre-event traversed-AS set is
+        // disjoint from the touched set must produce byte-identical traces.
+        let mut net = net;
+        let link = net
+            .internal_links()
+            .into_iter()
+            .find(|&(asn, a, b)| {
+                let mut probe = net.topology.clone();
+                let _ = asn;
+                probe.fail_internal_link(a, b)
+            })
+            .expect("removable link");
+        let add_asn = *net.topology.as_routers.keys().last().unwrap();
+        let events = [
+            TopologyEvent::LinkDown {
+                asn: link.0,
+                a: link.1,
+                b: link.2,
+            },
+            TopologyEvent::RouterAdd {
+                asn: add_asn,
+                attach: net.topology.as_routers[&add_asn][0],
+            },
+        ];
+        let mut checked = 0usize;
+        for ev in &events {
+            let before: Vec<(Trace, std::collections::BTreeSet<Asn>)> = pairs
+                .iter()
+                .map(|&(vp, d)| (trace_one(&net, vp, d, &cfg), traversed_ases(&net, vp, d)))
+                .collect();
+            let out = net.apply_event(ev);
+            assert!(out.applied && !out.rib_changed, "{}", ev.describe());
+            for (&(vp, d), (trace, ases)) in pairs.iter().zip(&before) {
+                if ases.is_disjoint(&out.touched) {
+                    assert_eq!(
+                        trace_one(&net, vp, d, &cfg),
+                        *trace,
+                        "untouched pair ({vp:?}, {d:#010x}) changed after {}",
+                        ev.describe()
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "no untouched pairs exercised");
     }
 
     #[test]
